@@ -1,0 +1,83 @@
+"""Figure 11 -- expert layout solver performance.
+
+Measures the wall-clock time of one expert-layout solve (Algorithm 2 with the
+two analytic replica schemes, |epsilon| = 2) while scaling the cluster size
+``N`` and the per-device capacity ``C``, and compares it against the baseline
+time budget: the average per-transformer-layer time of Mixtral-8x7B e8k2
+(solving happens on the CPU while the GPU computes one layer, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, print_report
+from repro.cluster.topology import ClusterTopology
+from repro.core.cost_model import MoECostModel
+from repro.core.layout_tuner import ExpertLayoutTuner, TunerConfig
+from repro.workloads.model_configs import get_model_config
+from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+
+from conftest import make_trace, run_systems
+
+SCALES = [(8, 2), (16, 2), (32, 2), (64, 2), (128, 4), (256, 4), (512, 8), (1024, 8)]
+SOLVE_REPEATS = 3
+
+
+def solve_time(num_devices: int, capacity: int, num_experts: int = 8) -> float:
+    """Average wall-clock seconds of one layout solve at a given scale."""
+    topology = ClusterTopology.homogeneous(num_devices, devices_per_node=8)
+    config = get_model_config("mixtral-8x7b-e8k2")
+    cost_model = MoECostModel.from_model_config(config, topology)
+    tuner = ExpertLayoutTuner(topology, cost_model, capacity,
+                              TunerConfig(num_candidates=2))
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=num_devices, num_experts=num_experts, num_layers=1,
+        tokens_per_device=16384, top_k=2, skew=0.5, seed=41))
+    routing = generator.generate(1).layer(0, 0)
+    start = time.perf_counter()
+    for _ in range(SOLVE_REPEATS):
+        tuner.solve(routing)
+    return (time.perf_counter() - start) / SOLVE_REPEATS
+
+
+def run_fig11(paper_cluster):
+    config = get_model_config("mixtral-8x7b-e8k2")
+    trace = make_trace(config, paper_cluster)
+    laer = run_systems(["laer"], config, paper_cluster, trace)["laer"]
+    baseline_per_layer = laer.mean_iteration_time / config.num_layers
+
+    rows = []
+    for num_devices, capacity in SCALES:
+        elapsed = solve_time(num_devices, capacity)
+        rows.append({
+            "num_gpus_N": num_devices,
+            "capacity_C": capacity,
+            "solve_time_ms": round(elapsed * 1000, 3),
+            "baseline_layer_time_ms": round(baseline_per_layer * 1000, 3),
+            "below_baseline": elapsed < baseline_per_layer,
+        })
+    return rows
+
+
+def test_fig11_planner_scaling(benchmark, paper_cluster):
+    rows = benchmark.pedantic(run_fig11, args=(paper_cluster,),
+                              rounds=1, iterations=1)
+    print_report(format_table(
+        rows, title="Figure 11: expert layout solver time vs cluster scale "
+                    "(grey dashed baseline = avg per-layer time of "
+                    "Mixtral-8x7B e8k2)"))
+
+    times = [row["solve_time_ms"] for row in rows]
+    # Solve time grows roughly as O(N^2 * C); the paper's C++ core stays below
+    # the per-layer baseline even at 1024 GPUs, our pure-Python solver stays in
+    # the low seconds there (and can be parallelised across layers/processes,
+    # as the paper notes).
+    assert all(row["solve_time_ms"] < 10_000 for row in rows)
+    # At the evaluation scale (up to 64 GPUs) the solver fits comfortably under
+    # the per-layer baseline, so planning never becomes a bottleneck.
+    for row in rows:
+        if row["num_gpus_N"] <= 64:
+            assert row["below_baseline"], row

@@ -1,0 +1,54 @@
+"""Figure 12 -- ablation study on Mixtral-8x7B e8k2.
+
+Compares full LAER-MoE against variants that disable one design component:
+
+* ``laer_pq_only``  -- only the priority-queue proportional replica scheme;
+* ``laer_even_only`` -- only the even replica scheme;
+* ``laer_no_comm_opt`` -- without the Fig. 5 communication-scheduling
+  optimisations;
+* ``fsdp_ep`` -- the static baseline for reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_speedup_table, format_table, print_report
+from repro.workloads.model_configs import get_model_config
+
+from conftest import make_trace, run_systems
+
+SYSTEMS = ["fsdp_ep", "laer_even_only", "laer_pq_only", "laer_no_comm_opt", "laer"]
+
+
+def run_ablation(paper_cluster):
+    config = get_model_config("mixtral-8x7b-e8k2")
+    trace = make_trace(config, paper_cluster, dataset="wikitext")
+    return run_systems(SYSTEMS, config, paper_cluster, trace)
+
+
+def test_fig12_ablation(benchmark, paper_cluster):
+    results = benchmark.pedantic(run_ablation, args=(paper_cluster,),
+                                 rounds=1, iterations=1)
+
+    throughputs = {name: run.throughput for name, run in results.items()}
+    speedups = format_speedup_table(
+        throughputs, reference="fsdp_ep",
+        title="Figure 12: ablation of the layout solver schemes and the "
+              "communication optimisations (Mixtral-8x7B e8k2)")
+    balance = format_table([
+        {"system": name,
+         "relative_max_tokens": round(run.mean_relative_max_tokens(), 3),
+         "exposed_comm_ms": round(1000 * run.mean_breakdown().get("exposed_comm", 0.0), 1)}
+        for name, run in results.items()
+    ], title="Balance and exposed communication per variant")
+    print_report(speedups, balance)
+
+    full = results["laer"].throughput
+    # The full solver (both schemes) is at least as good as either single
+    # scheme, and disabling the communication optimisations costs throughput.
+    assert full >= results["laer_pq_only"].throughput * 0.99
+    assert full >= results["laer_even_only"].throughput * 0.99
+    assert full > results["laer_no_comm_opt"].throughput
+    # Every variant still beats the static baseline.
+    assert all(results[name].throughput > results["fsdp_ep"].throughput
+               for name in ("laer", "laer_pq_only", "laer_even_only",
+                            "laer_no_comm_opt"))

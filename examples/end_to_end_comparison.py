@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare the training systems end to end on a simulated 32-GPU cluster.
+
+Reproduces a slice of Fig. 8 and Fig. 10 interactively: simulate Megatron,
+FSDP+EP, FlexMoE and LAER-MoE over the same skewed routing trace, and print
+throughput, speedups, the time breakdown and the per-layer balance.
+
+Run with::
+
+    python examples/end_to_end_comparison.py [model-name]
+
+where ``model-name`` is any Table 2 configuration
+(default: ``mixtral-8x7b-e8k2``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.breakdown import breakdown_table_from_runs
+from repro.analysis.reporting import (
+    format_series,
+    format_speedup_table,
+    format_table,
+    print_report,
+)
+from repro.cluster import ClusterTopology
+from repro.sim import make_system
+from repro.sim.engine import compare_systems
+from repro.workloads import (
+    RoutingTraceConfig,
+    SyntheticRoutingTraceGenerator,
+    get_model_config,
+)
+
+SYSTEMS = ["megatron", "fsdp_ep", "flexmoe", "laer", "oracle"]
+TOKENS_PER_DEVICE = 16384
+
+
+def main(model_name: str = "mixtral-8x7b-e8k2") -> None:
+    topology = ClusterTopology.paper_cluster()
+    config = get_model_config(model_name)
+
+    trace = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=topology.num_devices,
+        num_experts=config.num_experts,
+        num_layers=4,
+        tokens_per_device=TOKENS_PER_DEVICE,
+        top_k=config.top_k,
+        skew=0.45,
+        seed=11,
+    )).generate(10)
+
+    systems = [make_system(name, config, topology, TOKENS_PER_DEVICE)
+               for name in SYSTEMS]
+    results = compare_systems(systems, trace, warmup=2)
+
+    throughputs = {name: run.throughput for name, run in results.items()}
+    speedups = format_speedup_table(
+        throughputs, reference="megatron",
+        title=f"End-to-end throughput on {model_name} "
+              f"({topology.num_devices} GPUs, {TOKENS_PER_DEVICE} tokens/GPU)")
+
+    table = breakdown_table_from_runs(results)
+    breakdown = format_table(table.as_rows(),
+                             title="Iteration time breakdown (percent of total)")
+
+    balance = format_series(
+        {name: run.per_layer_relative_max_tokens() for name, run in results.items()},
+        x_label="moe_layer", x_values=range(trace.num_layers),
+        title="Relative max token count per layer (1.0 = perfect balance)")
+
+    print_report(speedups, breakdown, balance)
+
+    laer, fsdp = results["laer"], results["fsdp_ep"]
+    print(f"LAER-MoE speedup over FSDP+EP: {laer.speedup_over(fsdp):.2f}x; "
+          f"All-to-All share drops from "
+          f"{100 * fsdp.all_to_all_fraction():.0f}% to "
+          f"{100 * laer.all_to_all_fraction():.0f}%.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "mixtral-8x7b-e8k2")

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""FSEP mechanics: shard, unshard with an arbitrary layout, reshard gradients.
+
+A guided tour of the Fully Sharded Expert Parallelism machinery (Fig. 4) on a
+small MoE layer: flatten the experts, shard them across a 2-node cluster,
+restore a load-adaptive layout, run real tokens through the restored experts
+via the executor, and reduce the gradients back onto the shards -- verifying at
+every step that nothing diverges from the single-device reference.
+
+Run with::
+
+    python examples/fsep_mechanics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table, print_report
+from repro.cluster import ClusterTopology
+from repro.core import FSEPShardedExperts
+from repro.core.executor import FSEPExecutor
+from repro.core.layout import ExpertLayout
+from repro.model.moe_layer import MoELayer
+
+
+def main() -> None:
+    topology = ClusterTopology(num_nodes=2, devices_per_node=2)
+    layer = MoELayer(hidden_size=32, intermediate_size=64, num_experts=8,
+                     top_k=2, rng=np.random.default_rng(0))
+
+    # --- shard -----------------------------------------------------------
+    sharded = FSEPShardedExperts(
+        [expert.flatten_parameters() for expert in layer.experts],
+        num_devices=topology.num_devices)
+    print(f"Sharded {sharded.num_experts} experts of "
+          f"{sharded.expert_size} parameters each into "
+          f"{topology.num_devices} chunks of {sharded.chunk_size}; "
+          f"each device persistently stores "
+          f"{sharded.memory_per_device_bytes() / 1024:.1f} KiB.")
+
+    # --- unshard with a load-adaptive layout ------------------------------
+    # Device 0 and 1 restore the two "hot" experts 0 and 1; the cold experts
+    # share the remaining slots -- something classic EP cannot express.
+    layout = ExpertLayout(np.array([
+        [1, 1, 0, 0, 0, 0, 0, 0],
+        [1, 1, 0, 0, 0, 0, 0, 0],
+        [0, 0, 1, 1, 1, 1, 0, 0],
+        [0, 0, 0, 0, 0, 0, 1, 1],
+    ]), capacity=4)
+    restore = sharded.unshard(layout)
+    rows = [{"device": device,
+             "restored_experts": sorted(restore.device_experts[device]),
+             "received_KiB": round(restore.traffic[:, device].sum() / 1024, 1)}
+            for device in range(topology.num_devices)]
+    print_report(format_table(rows, title="Unshard: per-device restored experts"))
+
+    # Every restored expert is bit-identical to the original parameters.
+    for device, experts in restore.device_experts.items():
+        for expert_id, flat in experts.items():
+            assert np.array_equal(flat, layer.experts[expert_id].flatten_parameters())
+    print("Restored parameters match the originals exactly.")
+
+    # --- run real tokens through the executor -----------------------------
+    executor = FSEPExecutor(layer, topology)
+    x = np.random.default_rng(1).normal(size=(2, 16, 32))
+    reference, _ = layer.forward(x)
+    result = executor.forward(x, layout)
+    max_err = float(np.max(np.abs(result.output - reference)))
+    print(f"Executor output vs single-device reference: max |error| = {max_err:.2e}")
+
+    # --- reshard gradients -------------------------------------------------
+    layer.zero_grad()
+    grad_out = np.ones_like(x)
+    executor.backward(grad_out, result)
+    print(f"Gradient reshard moved "
+          f"{result.cache['reshard_bytes'] / 1024:.1f} KiB and reduced the "
+          f"replica gradients onto the parameter shards.")
+
+    rows = [{"metric": "unshard traffic (KiB)",
+             "value": round(result.unshard_bytes / 1024, 1)},
+            {"metric": "token dispatch+combine traffic (KiB)",
+             "value": round(result.dispatch_bytes / 1024, 1)},
+            {"metric": "max tokens on one device",
+             "value": int(result.tokens_per_device.max())},
+            {"metric": "ideal tokens per device",
+             "value": int(result.routing.sum() / topology.num_devices)}]
+    print_report(format_table(rows, title="FSEP iteration statistics"))
+
+
+if __name__ == "__main__":
+    main()

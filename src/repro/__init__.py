@@ -1,0 +1,61 @@
+"""LAER-MoE reproduction: Load-Adaptive Expert Re-layout for MoE training.
+
+This package is a from-scratch Python reproduction of the ASPLOS 2026 paper
+*LAER-MoE: Load-Adaptive Expert Re-layout for Efficient Mixture-of-Experts
+Training*.  It contains:
+
+* ``repro.core`` -- the paper's contribution: the FSEP parallel paradigm
+  (shard / unshard / reshard of fully-sharded expert parameters with arbitrary
+  per-iteration expert layouts), the load-balancing planner (expert layout
+  tuner + token dispatcher), and the communication-scheduling optimisations.
+* ``repro.cluster`` -- cluster topology and communication/compute/memory cost
+  models (the hardware substrate).
+* ``repro.model`` -- a numpy MoE transformer with hand-written backward passes
+  (the model substrate used for convergence studies and trace extraction).
+* ``repro.parallel`` -- classic parallel paradigms (DP / FSDP / EP / TP and
+  hybrids) reimplemented as sharding plans and cost models.
+* ``repro.sim`` -- a multi-stream discrete-event iteration simulator that
+  reproduces the paper's timeline figures and end-to-end comparisons.
+* ``repro.baselines`` -- GShard-style EP, FasterMoE, SmartMoE, Prophet and
+  FlexMoE load-balancing policies, plus a perfectly-balanced oracle.
+* ``repro.workloads`` -- Table 2 model configurations, synthetic routing
+  traces and synthetic datasets.
+* ``repro.training`` -- end-to-end numpy training used by the convergence
+  experiments.
+* ``repro.analysis`` -- metrics, breakdowns and report formatting used by the
+  benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+from repro.cluster import ClusterTopology, CollectiveCostModel
+from repro.workloads import (
+    get_model_config,
+    list_model_configs,
+    MoEModelConfig,
+    RoutingTrace,
+    SyntheticRoutingTraceGenerator,
+)
+from repro.core import (
+    ExpertLayout,
+    FSEPShardedExperts,
+    LoadBalancingPlanner,
+    MoECostModel,
+    lite_route,
+)
+
+__all__ = [
+    "__version__",
+    "ClusterTopology",
+    "CollectiveCostModel",
+    "get_model_config",
+    "list_model_configs",
+    "MoEModelConfig",
+    "RoutingTrace",
+    "SyntheticRoutingTraceGenerator",
+    "ExpertLayout",
+    "FSEPShardedExperts",
+    "LoadBalancingPlanner",
+    "MoECostModel",
+    "lite_route",
+]

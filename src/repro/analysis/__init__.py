@@ -1,0 +1,30 @@
+"""Metrics, breakdowns and report formatting used by the benchmark harness."""
+
+from repro.analysis.metrics import (
+    expert_load_imbalance,
+    device_load_imbalance,
+    relative_max_token_count,
+    jains_fairness_index,
+    coefficient_of_variation,
+)
+from repro.analysis.breakdown import BreakdownTable, breakdown_table_from_runs
+from repro.analysis.reporting import (
+    format_table,
+    format_speedup_table,
+    format_series,
+    print_report,
+)
+
+__all__ = [
+    "expert_load_imbalance",
+    "device_load_imbalance",
+    "relative_max_token_count",
+    "jains_fairness_index",
+    "coefficient_of_variation",
+    "BreakdownTable",
+    "breakdown_table_from_runs",
+    "format_table",
+    "format_speedup_table",
+    "format_series",
+    "print_report",
+]

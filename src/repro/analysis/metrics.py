@@ -1,0 +1,66 @@
+"""Load-balance metrics used across the experiments.
+
+The paper reports imbalance in two forms: per-expert load skew (Fig. 1a) and
+the relative maximum token count per device (Fig. 10b).  This module provides
+those plus a couple of standard fairness metrics used in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expert_load_imbalance(routing: np.ndarray) -> float:
+    """Max expert load divided by mean expert load for a routing matrix ``R``.
+
+    1.0 means perfectly balanced experts; Mixtral-style training routinely
+    shows values of 2-5 (Fig. 1a).
+    """
+    routing = np.asarray(routing, dtype=np.float64)
+    loads = routing.sum(axis=0)
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def device_load_imbalance(routing_plan: np.ndarray) -> float:
+    """Max device load divided by mean device load for a routing plan ``S``."""
+    plan = np.asarray(routing_plan, dtype=np.float64)
+    tokens = plan.sum(axis=(0, 1))
+    mean = tokens.mean()
+    if mean == 0:
+        return 1.0
+    return float(tokens.max() / mean)
+
+
+def relative_max_token_count(routing_plan: np.ndarray) -> float:
+    """Maximum per-device token count relative to perfect balance (Fig. 10b)."""
+    plan = np.asarray(routing_plan, dtype=np.float64)
+    tokens = plan.sum(axis=(0, 1))
+    ideal = plan.sum() / plan.shape[0]
+    if ideal == 0:
+        return 1.0
+    return float(tokens.max() / ideal)
+
+
+def jains_fairness_index(loads: np.ndarray) -> float:
+    """Jain's fairness index of a load vector: 1.0 = perfectly fair."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("loads must not be empty")
+    total = loads.sum()
+    if total == 0:
+        return 1.0
+    return float(total ** 2 / (loads.size * np.sum(loads ** 2)))
+
+
+def coefficient_of_variation(loads: np.ndarray) -> float:
+    """Standard deviation of the load vector divided by its mean."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        raise ValueError("loads must not be empty")
+    mean = loads.mean()
+    if mean == 0:
+        return 0.0
+    return float(loads.std() / mean)

@@ -1,0 +1,80 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's figures and tables show;
+these helpers render them as aligned ASCII tables so ``pytest benchmarks/``
+output can be compared side-by-side with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col, "")).ljust(widths[col])
+                                for col in columns))
+    return "\n".join(lines)
+
+
+def format_speedup_table(throughputs: Mapping[str, float], reference: str,
+                         title: str | None = None) -> str:
+    """Render throughputs with speedups relative to a reference system."""
+    if reference not in throughputs:
+        raise KeyError(f"reference system {reference!r} not in results")
+    ref = throughputs[reference]
+    rows = []
+    for system, value in throughputs.items():
+        rows.append({
+            "system": system,
+            "throughput_tokens_per_s": round(value, 1),
+            f"speedup_vs_{reference}": round(value / ref, 3) if ref else float("inf"),
+        })
+    return format_table(rows, title=title)
+
+
+def format_series(series: Mapping[str, Sequence[float]], x_label: str,
+                  x_values: Iterable[object], title: str | None = None,
+                  precision: int = 3) -> str:
+    """Render one or more named series over a shared x axis."""
+    x_values = list(x_values)
+    rows: List[Dict[str, object]] = []
+    for idx, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            values = list(values)
+            row[name] = round(values[idx], precision) if idx < len(values) else ""
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def print_report(*blocks: str) -> None:
+    """Print report blocks separated by blank lines (helper for benchmarks)."""
+    print()
+    for block in blocks:
+        print(block)
+        print()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,72 @@
+"""Static expert parallelism (GShard / Megatron / FSDP+EP layout).
+
+Expert placement is fixed for the whole run: the devices form ``P_ep = E / C``
+expert-parallel groups and EP rank ``r`` always hosts experts
+``[r * C, (r + 1) * C)``.  Each data-parallel replica routes its tokens to the
+owner inside its own EP group, so a hot expert overloads every device that
+hosts it -- this is exactly the imbalance Fig. 1 and Fig. 6(a) illustrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import LoadBalancingPolicy, PolicyDecision
+from repro.cluster.topology import ClusterTopology
+from repro.core.layout import ExpertLayout, static_ep_layout
+
+
+def ep_group_route(routing: np.ndarray, capacity: int) -> np.ndarray:
+    """Classic EP routing: tokens go to the expert owner inside the sender's group.
+
+    The devices are organised in rows of ``P_ep = E / C`` consecutive ranks;
+    sender ``i`` sends tokens for expert ``j`` to the device of its own row
+    whose EP rank is ``j // C``.
+
+    Args:
+        routing: ``(N, E)`` routing matrix ``R``.
+        capacity: Experts per device ``C``.
+
+    Returns:
+        ``(N, E, N)`` plan ``S``.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    num_devices, num_experts = routing.shape
+    if num_experts % capacity != 0:
+        raise ValueError("num_experts must be a multiple of capacity")
+    p_ep = num_experts // capacity
+    if num_devices % p_ep != 0:
+        raise ValueError("num_devices must be a multiple of E/C")
+    plan = np.zeros((num_devices, num_experts, num_devices), dtype=np.int64)
+    for sender in range(num_devices):
+        row_start = (sender // p_ep) * p_ep
+        for expert in range(num_experts):
+            owner = row_start + expert // capacity
+            plan[sender, expert, owner] = routing[sender, expert]
+    return plan
+
+
+class StaticEPPolicy(LoadBalancingPolicy):
+    """Fixed expert placement with no replication or relocation."""
+
+    name = "static-ep"
+
+    def __init__(self, topology: ClusterTopology, num_experts: int,
+                 capacity: int, expert_param_bytes: float):
+        super().__init__(topology, num_experts, capacity, expert_param_bytes)
+        self._layout = static_ep_layout(topology.num_devices, num_experts, capacity)
+
+    @property
+    def layout(self) -> ExpertLayout:
+        """The fixed layout used in every iteration."""
+        return self._layout.copy()
+
+    def decide_layer(self, layer: int, routing: np.ndarray) -> PolicyDecision:
+        plan = ep_group_route(routing, self.capacity)
+        return PolicyDecision(
+            layout=self._layout.copy(),
+            routing_plan=plan,
+            relayout_bytes_exposed=0.0,
+            grad_sync_extra_bytes=0.0,
+            metadata={"static": True},
+        )

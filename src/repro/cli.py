@@ -1,0 +1,165 @@
+"""Command-line interface for the LAER-MoE reproduction.
+
+Provides quick access to the most common workflows without writing Python:
+
+* ``python -m repro.cli models`` -- print the Table 2 model registry;
+* ``python -m repro.cli trace`` -- generate (and optionally save) a synthetic
+  routing trace and print its summary statistics;
+* ``python -m repro.cli compare`` -- simulate the compared training systems on
+  a model/cluster/trace combination and print throughput, speedups and the
+  time breakdown;
+* ``python -m repro.cli plan`` -- run the load-balancing planner over a trace
+  and print per-iteration balance against the static EP layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis.breakdown import breakdown_table_from_runs
+from repro.analysis.reporting import format_speedup_table, format_table, print_report
+from repro.cluster.topology import ClusterTopology
+from repro.core.cost_model import MoECostModel
+from repro.core.layout import static_ep_layout
+from repro.core.lite_routing import lite_route
+from repro.core.planner import LoadBalancingPlanner, PlannerConfig
+from repro.sim.engine import compare_systems
+from repro.sim.systems import available_systems, make_system
+from repro.workloads.model_configs import get_model_config, list_model_configs
+from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+from repro.workloads.trace_io import save_trace, summarize_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LAER-MoE reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the Table 2 model configurations")
+
+    trace = sub.add_parser("trace", help="generate a synthetic routing trace")
+    _add_common_workload_args(trace)
+    trace.add_argument("--iterations", type=int, default=20)
+    trace.add_argument("--output", type=str, default=None,
+                       help="optional .npz path to save the trace to")
+
+    compare = sub.add_parser("compare", help="simulate the training systems")
+    _add_common_workload_args(compare)
+    compare.add_argument("--iterations", type=int, default=10)
+    compare.add_argument("--systems", nargs="+", default=["megatron", "fsdp_ep",
+                                                          "flexmoe", "laer"],
+                         choices=available_systems())
+    compare.add_argument("--reference", type=str, default="megatron")
+
+    plan = sub.add_parser("plan", help="run the planner over a trace")
+    _add_common_workload_args(plan)
+    plan.add_argument("--iterations", type=int, default=6)
+    return parser
+
+
+def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", type=str, default="mixtral-8x7b-e8k2",
+                        choices=list_model_configs())
+    parser.add_argument("--num-nodes", type=int, default=4)
+    parser.add_argument("--devices-per-node", type=int, default=8)
+    parser.add_argument("--tokens-per-device", type=int, default=16384)
+    parser.add_argument("--skew", type=float, default=0.45)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _topology(args: argparse.Namespace) -> ClusterTopology:
+    return ClusterTopology(num_nodes=args.num_nodes,
+                           devices_per_node=args.devices_per_node)
+
+
+def _trace(args: argparse.Namespace, topology: ClusterTopology, iterations: int):
+    config = get_model_config(args.model)
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=topology.num_devices, num_experts=config.num_experts,
+        num_layers=args.layers, tokens_per_device=args.tokens_per_device,
+        top_k=config.top_k, skew=args.skew, churn_prob=0.0, seed=args.seed))
+    return config, generator.generate(iterations)
+
+
+# ----------------------------------------------------------------------
+# Sub-command implementations
+# ----------------------------------------------------------------------
+def cmd_models(_: argparse.Namespace) -> int:
+    rows = [get_model_config(name).summary() for name in list_model_configs()]
+    print_report(format_table(rows, title="Table 2 model configurations"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    topology = _topology(args)
+    _, trace = _trace(args, topology, args.iterations)
+    summary = summarize_trace(trace)
+    print_report(format_table([summary.as_dict()],
+                              title="Routing trace summary"))
+    if args.output:
+        path = save_trace(trace, args.output)
+        print(f"Trace saved to {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    topology = _topology(args)
+    config, trace = _trace(args, topology, args.iterations + 2)
+    systems = [make_system(name, config, topology, args.tokens_per_device)
+               for name in args.systems]
+    results = compare_systems(systems, trace, warmup=2)
+    throughputs = {name: run.throughput for name, run in results.items()}
+    reference = args.reference if args.reference in results else args.systems[0]
+    table = breakdown_table_from_runs(results)
+    print_report(
+        format_speedup_table(throughputs, reference,
+                             title=f"End-to-end comparison on {config.name}"),
+        format_table(table.as_rows(), title="Time breakdown (percent of total)"))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    topology = _topology(args)
+    config, trace = _trace(args, topology, args.iterations)
+    cost_model = MoECostModel.from_model_config(config, topology)
+    planner = LoadBalancingPlanner(topology, cost_model, config.num_experts,
+                                   PlannerConfig(capacity=config.expert_capacity))
+    static = static_ep_layout(topology.num_devices, config.num_experts,
+                              config.expert_capacity)
+    rows = []
+    for iteration in range(trace.num_iterations):
+        plans = planner.plan_iteration(trace.iteration(iteration))
+        plan = plans[0]
+        static_cost = cost_model.evaluate(
+            lite_route(trace.layer(iteration, 0), static, topology))
+        ideal = trace.layer(iteration, 0).sum() / topology.num_devices
+        rows.append({
+            "iteration": iteration,
+            "laer_rel_max_tokens": round(plan.cost.max_tokens / ideal, 3),
+            "static_rel_max_tokens": round(static_cost.max_tokens / ideal, 3),
+            "laer_layer_ms": round(plan.cost.total * 1000, 1),
+            "static_layer_ms": round(static_cost.total * 1000, 1),
+        })
+    print_report(format_table(rows, title="Planner vs static EP, per iteration"))
+    return 0
+
+
+COMMANDS = {
+    "models": cmd_models,
+    "trace": cmd_trace,
+    "compare": cmd_compare,
+    "plan": cmd_plan,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,200 @@
+"""Analytic cost models for collective communication operations.
+
+The training systems in this repository use five collectives:
+
+* **All-to-All** -- token dispatch/combine in expert parallelism and the FSEP
+  unshard/reshard operations.  Cost is driven by the per-pair traffic matrix
+  and the slowest link it crosses.
+* **All-Gather** -- FSDP parameter unsharding.
+* **Reduce-Scatter** -- FSDP gradient synchronisation.
+* **All-Reduce** -- data-parallel gradient synchronisation and TP activations.
+* **Broadcast** -- FasterMoE-style shadow-expert replication.
+
+All models follow the alpha-beta convention: a per-message latency plus a
+bandwidth term.  For ring-based collectives the bandwidth term uses the
+standard ``(p - 1) / p`` factor over the slowest link in the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+
+
+class CollectiveKind(Enum):
+    """Enumeration of the supported collective operations."""
+
+    ALL_TO_ALL = "all_to_all"
+    ALL_GATHER = "all_gather"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_REDUCE = "all_reduce"
+    BROADCAST = "broadcast"
+    POINT_TO_POINT = "point_to_point"
+
+
+@dataclass
+class CollectiveCostModel:
+    """Estimate the wall-clock time of collective operations on a topology.
+
+    Attributes:
+        topology: The cluster topology the collectives run on.
+        efficiency: Fraction of the theoretical link bandwidth that collectives
+            achieve in practice (protocol overhead, imperfect overlap between
+            the send and receive directions, ...).
+    """
+
+    topology: ClusterTopology
+    efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    # All-to-All
+    # ------------------------------------------------------------------
+    def all_to_all(self, traffic: np.ndarray,
+                   group: Sequence[int] | None = None) -> float:
+        """Time of an All-to-All described by a per-pair ``traffic`` matrix.
+
+        Args:
+            traffic: ``(len(group), len(group))`` array, where ``traffic[a, b]``
+                is the number of bytes the ``a``-th group member sends to the
+                ``b``-th group member.  The diagonal (local data) is ignored.
+            group: Global device ranks participating in the collective.  When
+                omitted, all cluster devices participate in rank order.
+
+        Returns:
+            Estimated completion time in seconds: the maximum over devices of
+            the time needed to drain that device's ingress and egress traffic,
+            where each byte is charged at the bandwidth of the link it crosses.
+        """
+        members = self._resolve_group(group)
+        traffic = np.asarray(traffic, dtype=np.float64)
+        if traffic.shape != (len(members), len(members)):
+            raise ValueError(
+                f"traffic matrix must be {(len(members), len(members))}, "
+                f"got {traffic.shape}"
+            )
+        if np.any(traffic < 0):
+            raise ValueError("traffic entries must be non-negative")
+
+        n = len(members)
+        if n == 1:
+            return 0.0
+        send_time = np.zeros(n, dtype=np.float64)
+        recv_time = np.zeros(n, dtype=np.float64)
+        latency = np.zeros(n, dtype=np.float64)
+        for a in range(n):
+            for b in range(n):
+                if a == b:
+                    continue
+                num_bytes = traffic[a, b]
+                if num_bytes == 0:
+                    continue
+                bw = self.topology.bandwidth(members[a], members[b]) * self.efficiency
+                t = num_bytes / bw
+                send_time[a] += t
+                recv_time[b] += t
+                latency[a] = max(latency[a], self.topology.latency(members[a], members[b]))
+        per_device = np.maximum(send_time, recv_time) + latency
+        return float(per_device.max())
+
+    def uniform_all_to_all(self, bytes_per_pair: float,
+                           group: Sequence[int] | None = None) -> float:
+        """All-to-All where every device sends ``bytes_per_pair`` to every other."""
+        members = self._resolve_group(group)
+        n = len(members)
+        traffic = np.full((n, n), float(bytes_per_pair), dtype=np.float64)
+        np.fill_diagonal(traffic, 0.0)
+        return self.all_to_all(traffic, members)
+
+    # ------------------------------------------------------------------
+    # Ring-style collectives
+    # ------------------------------------------------------------------
+    def all_gather(self, bytes_per_shard: float,
+                   group: Sequence[int] | None = None) -> float:
+        """Ring All-Gather of ``bytes_per_shard`` bytes per participant."""
+        return self._ring_collective(bytes_per_shard, group, passes=1.0)
+
+    def reduce_scatter(self, bytes_per_shard: float,
+                       group: Sequence[int] | None = None) -> float:
+        """Ring Reduce-Scatter of ``bytes_per_shard`` bytes per participant."""
+        return self._ring_collective(bytes_per_shard, group, passes=1.0)
+
+    def all_reduce(self, num_bytes: float,
+                   group: Sequence[int] | None = None) -> float:
+        """Ring All-Reduce of ``num_bytes`` bytes (reduce-scatter + all-gather)."""
+        members = self._resolve_group(group)
+        p = len(members)
+        if p <= 1 or num_bytes == 0:
+            return 0.0
+        shard = num_bytes / p
+        return self._ring_collective(shard, members, passes=2.0)
+
+    def broadcast(self, num_bytes: float,
+                  group: Sequence[int] | None = None) -> float:
+        """Broadcast ``num_bytes`` from the first group member to the rest.
+
+        Modelled as a pipelined chain: the payload traverses the slowest link
+        once (large-message regime).
+        """
+        members = self._resolve_group(group)
+        if len(members) <= 1 or num_bytes == 0:
+            return 0.0
+        slowest = self._slowest_bandwidth(members)
+        latency = self._max_latency(members)
+        return latency + num_bytes / (slowest * self.efficiency)
+
+    def point_to_point(self, src: int, dst: int, num_bytes: float) -> float:
+        """Single point-to-point transfer (e.g. pipeline-parallel activations)."""
+        if num_bytes == 0 or src == dst:
+            return 0.0
+        bw = self.topology.bandwidth(src, dst) * self.efficiency
+        return self.topology.latency(src, dst) + num_bytes / bw
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _ring_collective(self, bytes_per_shard: float,
+                         group: Sequence[int] | None, passes: float) -> float:
+        members = self._resolve_group(group)
+        p = len(members)
+        if p <= 1 or bytes_per_shard == 0:
+            return 0.0
+        slowest = self._slowest_bandwidth(members)
+        latency = self._max_latency(members)
+        # In a ring collective every rank sends one shard per step for p-1
+        # steps (per pass), all ranks concurrently, so the completion time is
+        # governed by the per-rank traffic (p-1) * shard over the slowest link.
+        per_device = passes * (p - 1) * bytes_per_shard
+        return passes * (p - 1) * latency + per_device / (slowest * self.efficiency)
+
+    def _slowest_bandwidth(self, members: Sequence[int]) -> float:
+        nodes = {self.topology.node(m) for m in members}
+        if len(nodes) > 1:
+            return self.topology.inter_node_bandwidth
+        return self.topology.intra_node_bandwidth
+
+    def _max_latency(self, members: Sequence[int]) -> float:
+        nodes = {self.topology.node(m) for m in members}
+        if len(nodes) > 1:
+            return self.topology.inter_node_latency
+        return self.topology.intra_node_latency
+
+    def _resolve_group(self, group: Sequence[int] | None) -> Sequence[int]:
+        if group is None:
+            return list(self.topology.devices())
+        if len(group) == 0:
+            raise ValueError("group must not be empty")
+        if len(set(group)) != len(group):
+            raise ValueError("group contains duplicate devices")
+        for dev in group:
+            if not 0 <= dev < self.topology.num_devices:
+                raise ValueError(f"device {dev} not in topology")
+        return list(group)

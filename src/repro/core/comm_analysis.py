@@ -1,0 +1,118 @@
+"""Communication, memory and overlap analysis of FSEP (Sec. 3.1).
+
+These closed-form expressions back the paper's claims that (a) FSEP's unshard
+All-to-All moves almost the same volume as the FSDP All-Gather it replaces,
+(b) the extra memory is bounded by ``2 * C * Psi_expert``, and (c) expert
+computation hides the parameter prefetch whenever the per-device token count
+``S`` exceeds the Eq. 1 threshold.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.device import DeviceSpec
+from repro.workloads.model_configs import MoEModelConfig
+
+#: Bytes per element for bf16 parameters (the precision used in the analysis).
+BF16_BYTES = 2
+
+
+def fsep_unshard_volume(capacity: int, num_devices: int,
+                        expert_param_bytes: float) -> float:
+    """Per-device send (== receive) volume of one FSEP unshard, in bytes.
+
+    ``V_fsep = C * (P_fsep - 1) / P_fsep * Psi_expert`` with ``P_fsep = N``.
+    """
+    if capacity <= 0 or num_devices <= 0:
+        raise ValueError("capacity and num_devices must be positive")
+    if expert_param_bytes < 0:
+        raise ValueError("expert_param_bytes must be non-negative")
+    return capacity * (num_devices - 1) / num_devices * expert_param_bytes
+
+
+def fsdp_allgather_volume(capacity: int, fsdp_size: int,
+                          expert_param_bytes: float) -> float:
+    """Per-device volume of the FSDP All-Gather restoring ``C`` experts.
+
+    ``V_fsdp = (P_fsdp - 1) / P_fsdp * C * Psi_expert``.
+    """
+    if capacity <= 0 or fsdp_size <= 0:
+        raise ValueError("capacity and fsdp_size must be positive")
+    if expert_param_bytes < 0:
+        raise ValueError("expert_param_bytes must be non-negative")
+    return (fsdp_size - 1) / fsdp_size * capacity * expert_param_bytes
+
+
+def fsep_to_fsdp_volume_ratio(fsep_size: int, fsdp_size: int) -> float:
+    """Ratio ``V_fsep / V_fsdp = (P_fsep - 1) * P_fsdp / (P_fsep * (P_fsdp - 1))``.
+
+    Approaches 1 as the cluster grows; e.g. ``P_fsep = 32, P_fsdp = 8`` gives
+    roughly 1.1 (the example quoted in the paper).
+    """
+    if fsep_size <= 1 or fsdp_size <= 1:
+        raise ValueError("both parallel sizes must exceed 1 for the ratio")
+    return (fsep_size - 1) * fsdp_size / (fsep_size * (fsdp_size - 1))
+
+
+def fsep_extra_memory_bytes(config: MoEModelConfig,
+                            capacity: int | None = None) -> float:
+    """Extra memory of FSEP over plain FSDP: ``2 * C * Psi_expert`` bytes.
+
+    The factor 2 covers the restored expert parameters of the current layer
+    plus the prefetched ones of the next layer; gradients mirror the same
+    bound because their reduction is delayed by one layer.
+    """
+    c = capacity if capacity is not None else config.expert_capacity
+    if c <= 0:
+        raise ValueError("capacity must be positive")
+    return 2.0 * c * config.expert_params_per_layer * BF16_BYTES
+
+
+def prefetch_bytes_per_device(config: MoEModelConfig,
+                              capacity: int | None = None) -> float:
+    """Bytes each device sends (and receives) to prefetch one layer's experts.
+
+    ``3 * C * H * H' * sizeof(bf16)`` -- three SwiGLU matrices per expert.
+    """
+    c = capacity if capacity is not None else config.expert_capacity
+    return 3.0 * c * config.hidden_size * config.intermediate_size * BF16_BYTES
+
+
+def expert_compute_time(config: MoEModelConfig, tokens: float,
+                        device: DeviceSpec) -> float:
+    """Time to run ``tokens`` token-expert assignments of SwiGLU on ``device``."""
+    if tokens < 0:
+        raise ValueError("tokens must be non-negative")
+    flops = tokens * config.expert_flops_per_token
+    return device.compute_time(flops)
+
+
+def prefetch_time(config: MoEModelConfig, bandwidth: float,
+                  capacity: int | None = None) -> float:
+    """Time to prefetch one layer's expert parameters at ``bandwidth`` bytes/s."""
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return prefetch_bytes_per_device(config, capacity) / bandwidth
+
+
+def overlap_token_threshold(config: MoEModelConfig, device: DeviceSpec,
+                            bandwidth: float,
+                            capacity: int | None = None) -> float:
+    """Minimum per-device tokens ``S`` for compute to hide the prefetch (Eq. 1).
+
+    Balanced loading gives each device ``S * K`` expert-token assignments, so
+    the compute time is ``S * K * 6 * H * H' / B_comp`` and the prefetch time
+    is ``3 * C * H * H' * 2 / B_comm``.  Solving compute >= prefetch for ``S``
+    yields the threshold returned here.
+    """
+    c = capacity if capacity is not None else config.expert_capacity
+    compute_per_assignment = config.expert_flops_per_token / device.effective_flops
+    comm_time = prefetch_time(config, bandwidth, c)
+    return comm_time / (config.top_k * compute_per_assignment)
+
+
+def overlap_is_feasible(config: MoEModelConfig, device: DeviceSpec,
+                        bandwidth: float, tokens_per_device: float,
+                        capacity: int | None = None) -> bool:
+    """Check Eq. 1: does ``tokens_per_device`` satisfy the overlap condition?"""
+    return tokens_per_device >= overlap_token_threshold(
+        config, device, bandwidth, capacity)

@@ -1,0 +1,178 @@
+"""Expert layouts: which device restores which experts (``A`` in the paper).
+
+A layout is an ``(N, E)`` non-negative integer matrix ``A`` where ``A[i, j]``
+is the number of replicas of expert ``j`` restored on device ``i`` during the
+iteration.  Each device restores at most ``capacity`` (``C``) complete experts,
+and every expert must be restored somewhere (dropless training requires every
+token to find its experts).
+
+The classic FSDP+EP placement (Fig. 6a) and the fully-replicated placement are
+provided as reference layouts; the planner produces load-adaptive layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class ExpertLayout:
+    """An expert re-layout strategy ``A``.
+
+    Attributes:
+        assignment: ``(N, E)`` integer matrix; ``assignment[i, j]`` is the
+            number of replicas of expert ``j`` restored on device ``i``.
+        capacity: Expert capacity per device ``C``; every row of
+            ``assignment`` must sum to at most ``capacity``.
+    """
+
+    assignment: np.ndarray
+    capacity: int
+
+    def __post_init__(self) -> None:
+        self.assignment = np.asarray(self.assignment, dtype=np.int64)
+        if self.assignment.ndim != 2:
+            raise ValueError("assignment must be a 2-D (N, E) matrix")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if np.any(self.assignment < 0):
+            raise ValueError("assignment entries must be non-negative")
+        if np.any(self.assignment.sum(axis=1) > self.capacity):
+            raise ValueError(
+                "a device restores more experts than its capacity allows")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return int(self.assignment.shape[0])
+
+    @property
+    def num_experts(self) -> int:
+        return int(self.assignment.shape[1])
+
+    def replicas_per_expert(self) -> np.ndarray:
+        """Return the ``(E,)`` vector of total replica counts per expert."""
+        return self.assignment.sum(axis=0)
+
+    def experts_on_device(self, device: int) -> List[int]:
+        """Expert ids restored on ``device`` (repeated per extra replica)."""
+        row = self.assignment[device]
+        out: List[int] = []
+        for expert, count in enumerate(row):
+            out.extend([expert] * int(count))
+        return out
+
+    def devices_hosting(self, expert: int) -> List[int]:
+        """Devices that restore at least one replica of ``expert``."""
+        return list(np.nonzero(self.assignment[:, expert] > 0)[0])
+
+    def experts_used_per_device(self) -> np.ndarray:
+        """Number of distinct experts restored on each device."""
+        return (self.assignment > 0).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def is_complete(self) -> bool:
+        """True when every expert has at least one replica somewhere."""
+        return bool(np.all(self.replicas_per_expert() >= 1))
+
+    def validate(self, require_full_capacity: bool = False) -> None:
+        """Raise ``ValueError`` if the layout is not usable for dropless MoE.
+
+        Args:
+            require_full_capacity: Additionally require every device to use
+                exactly ``capacity`` slots (the planner always produces such
+                layouts; hand-written layouts may leave slots empty).
+        """
+        if not self.is_complete():
+            missing = list(np.nonzero(self.replicas_per_expert() == 0)[0])
+            raise ValueError(f"experts {missing} have no replica in the layout")
+        if require_full_capacity:
+            used = self.assignment.sum(axis=1)
+            if np.any(used != self.capacity):
+                raise ValueError("some devices do not use their full capacity")
+
+    # ------------------------------------------------------------------
+    # Comparisons / bookkeeping
+    # ------------------------------------------------------------------
+    def difference(self, other: "ExpertLayout") -> int:
+        """Number of expert-slot changes between two layouts.
+
+        Used by baselines (FlexMoE, SmartMoE) that must pay a migration cost
+        proportional to the number of expert replicas that change device.
+        """
+        if self.assignment.shape != other.assignment.shape:
+            raise ValueError("layouts must have identical shapes")
+        return int(np.abs(self.assignment - other.assignment).sum() // 2
+                   + np.abs(self.assignment.sum() - other.assignment.sum()) // 2)
+
+    def copy(self) -> "ExpertLayout":
+        return ExpertLayout(self.assignment.copy(), self.capacity)
+
+    def as_dict(self) -> Dict[int, List[int]]:
+        """Return ``{device: [expert, ...]}`` for human-readable inspection."""
+        return {dev: self.experts_on_device(dev) for dev in range(self.num_devices)}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExpertLayout):
+            return NotImplemented
+        return (self.capacity == other.capacity
+                and np.array_equal(self.assignment, other.assignment))
+
+    def __repr__(self) -> str:
+        return (f"ExpertLayout(N={self.num_devices}, E={self.num_experts}, "
+                f"C={self.capacity})")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_device_lists(cls, device_experts: Sequence[Sequence[int]],
+                          num_experts: int, capacity: int) -> "ExpertLayout":
+        """Build a layout from per-device expert lists."""
+        n = len(device_experts)
+        assignment = np.zeros((n, num_experts), dtype=np.int64)
+        for dev, experts in enumerate(device_experts):
+            for expert in experts:
+                if not 0 <= expert < num_experts:
+                    raise ValueError(f"expert {expert} out of range")
+                assignment[dev, expert] += 1
+        return cls(assignment, capacity)
+
+
+def static_ep_layout(num_devices: int, num_experts: int,
+                     capacity: int) -> ExpertLayout:
+    """The classic FSDP+EP placement (Fig. 6a): fixed throughout training.
+
+    The devices are split into ``P_ep = E / C`` expert-parallel groups by
+    ``device % P_ep``; EP rank ``r`` always restores experts
+    ``[r * C, (r + 1) * C)``.  Each expert therefore has ``N / P_ep``
+    compute replicas, evenly spread over the cluster.
+    """
+    if num_experts % capacity != 0:
+        raise ValueError("num_experts must be a multiple of capacity")
+    p_ep = num_experts // capacity
+    if num_devices % p_ep != 0:
+        raise ValueError(
+            f"num_devices ({num_devices}) must be a multiple of E/C ({p_ep})")
+    assignment = np.zeros((num_devices, num_experts), dtype=np.int64)
+    for device in range(num_devices):
+        ep_rank = device % p_ep
+        for expert in range(ep_rank * capacity, (ep_rank + 1) * capacity):
+            assignment[device, expert] = 1
+    return ExpertLayout(assignment, capacity)
+
+
+def replicate_all_layout(num_devices: int, num_experts: int) -> ExpertLayout:
+    """Every device restores every expert (capacity ``E``).
+
+    Only feasible for small expert counts; used as an upper bound in tests.
+    """
+    assignment = np.ones((num_devices, num_experts), dtype=np.int64)
+    return ExpertLayout(assignment, capacity=num_experts)

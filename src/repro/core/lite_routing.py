@@ -1,0 +1,153 @@
+"""Lite routing (Algorithm 3): the synchronous token dispatcher.
+
+Given the routing matrix ``R`` (tokens per device per expert) and the expert
+layout ``A``, lite routing decides which replica of an expert each token goes
+to.  The algorithm is topology-aware and requires no global coordination:
+
+* if replicas of the expert exist **within the sender's node**, tokens are
+  split evenly among those intra-node replicas (keeping traffic on NVLink);
+* otherwise tokens are split evenly among **all** replicas across the cluster.
+
+The result is the routing plan ``S[i, j, k]`` consumed by the cost model, the
+All-to-All dispatcher and the iteration simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.layout import ExpertLayout
+
+
+def _split_evenly(total: int, weights: np.ndarray) -> np.ndarray:
+    """Split ``total`` integer tokens proportionally to ``weights``.
+
+    The split is deterministic: the integer floor of the proportional share is
+    assigned first and the remaining tokens are handed out one-by-one in index
+    order, so tests (and all devices running the algorithm independently)
+    agree on the result.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    weight_sum = weights.sum()
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    raw = total * weights / weight_sum
+    base = np.floor(raw).astype(np.int64)
+    remainder = int(total - base.sum())
+    if remainder > 0:
+        # Give the leftover tokens to the targets with the largest fractional
+        # share, breaking ties by index.
+        frac = raw - base
+        order = np.argsort(-frac, kind="stable")
+        base[order[:remainder]] += 1
+    return base
+
+
+def lite_route_single_rank(routing_row: np.ndarray, layout: ExpertLayout,
+                           topology: ClusterTopology, rank: int) -> np.ndarray:
+    """Algorithm 3 for one sender: route ``R[rank, :]`` under layout ``A``.
+
+    Args:
+        routing_row: ``(E,)`` token counts of the sender for each expert.
+        layout: Expert layout ``A``.
+        topology: Cluster topology (for the node mapping).
+        rank: Global rank of the sending device.
+
+    Returns:
+        ``(E, N)`` plan: tokens of each expert sent to each destination device.
+    """
+    routing_row = np.asarray(routing_row, dtype=np.int64)
+    num_experts = layout.num_experts
+    num_devices = layout.num_devices
+    if routing_row.shape != (num_experts,):
+        raise ValueError(f"routing_row must have shape ({num_experts},)")
+    if np.any(routing_row < 0):
+        raise ValueError("token counts must be non-negative")
+    plan = np.zeros((num_experts, num_devices), dtype=np.int64)
+    node_devices = np.asarray(topology.devices_on_node(topology.node(rank)))
+    for expert in range(num_experts):
+        tokens = int(routing_row[expert])
+        if tokens == 0:
+            continue
+        replica_counts = layout.assignment[:, expert]
+        intra_counts = np.zeros(num_devices, dtype=np.int64)
+        intra_counts[node_devices] = replica_counts[node_devices]
+        if intra_counts.sum() > 0:
+            targets = intra_counts
+        else:
+            targets = replica_counts
+        if targets.sum() == 0:
+            raise ValueError(f"expert {expert} has no replica in the layout")
+        plan[expert] = _split_evenly(tokens, targets)
+    return plan
+
+
+def lite_route(routing: np.ndarray, layout: ExpertLayout,
+               topology: ClusterTopology) -> np.ndarray:
+    """Run lite routing for every sender, producing the full plan ``S``.
+
+    Args:
+        routing: ``(N, E)`` routing matrix ``R``.
+        layout: Expert layout ``A``.
+        topology: Cluster topology.
+
+    Returns:
+        ``(N, E, N)`` integer plan ``S`` satisfying
+        ``S.sum(axis=2) == routing`` and placing tokens only on devices that
+        restore the corresponding expert.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    n = layout.num_devices
+    if routing.shape != (n, layout.num_experts):
+        raise ValueError(
+            f"routing must have shape ({n}, {layout.num_experts}), "
+            f"got {routing.shape}")
+    if topology.num_devices != n:
+        raise ValueError("topology size does not match the layout")
+    plan = np.zeros((n, layout.num_experts, n), dtype=np.int64)
+    for rank in range(n):
+        plan[rank] = lite_route_single_rank(routing[rank], layout, topology, rank)
+    return plan
+
+
+def global_even_route(routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:
+    """Topology-oblivious variant: always split across all global replicas.
+
+    Used by the ablation study to quantify the benefit of topology awareness in
+    lite routing.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    n, num_experts = routing.shape
+    plan = np.zeros((n, num_experts, n), dtype=np.int64)
+    for rank in range(n):
+        for expert in range(num_experts):
+            tokens = int(routing[rank, expert])
+            if tokens == 0:
+                continue
+            replica_counts = layout.assignment[:, expert]
+            if replica_counts.sum() == 0:
+                raise ValueError(f"expert {expert} has no replica in the layout")
+            plan[rank, expert] = _split_evenly(tokens, replica_counts)
+    return plan
+
+
+def ep_route(routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:
+    """Classic EP routing: all tokens of an expert go to its (unique) owner.
+
+    When the layout replicates an expert this degenerates to sending everything
+    to the first hosting device; it is provided for the vanilla-EP baseline
+    where layouts never replicate.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    n, num_experts = routing.shape
+    plan = np.zeros((n, num_experts, n), dtype=np.int64)
+    for expert in range(num_experts):
+        hosts = layout.devices_hosting(expert)
+        if not hosts:
+            raise ValueError(f"expert {expert} has no replica in the layout")
+        owner = hosts[0]
+        plan[:, expert, owner] = routing[:, expert]
+    return plan

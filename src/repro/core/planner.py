@@ -1,0 +1,203 @@
+"""The load-balancing planner: asynchronous layout tuning + synchronous dispatch.
+
+The planner (Fig. 3 / Fig. 7) keeps a per-layer history of observed routing
+matrices.  While the GPU computes iteration ``t``, the (conceptually CPU-side)
+expert layout tuner solves the re-layout strategy for iteration ``t + 1`` from
+the history -- so layouts are always one step behind the routing they react to,
+exactly as in the paper.  At execution time the synchronous token dispatcher
+(lite routing) maps the *actual* routing of the iteration onto the planned
+layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.cost_model import CostBreakdown, MoECostModel
+from repro.core.layout import ExpertLayout, static_ep_layout
+from repro.core.layout_tuner import ExpertLayoutTuner, TunerConfig
+from repro.core.lite_routing import lite_route
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Configuration of the load-balancing planner.
+
+    Attributes:
+        capacity: Expert capacity per device ``C``.
+        history_length: Number of past iterations kept per layer.
+        ema_decay: Exponential-moving-average decay applied to the history when
+            predicting the next iteration's routing (1.0 = use only the latest
+            observation, matching the paper's per-iteration adaptation).
+        tuner: Configuration of the embedded expert layout tuner.
+    """
+
+    capacity: int
+    history_length: int = 8
+    ema_decay: float = 1.0
+    tuner: TunerConfig = field(default_factory=TunerConfig)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.history_length < 1:
+            raise ValueError("history_length must be at least 1")
+        if not 0.0 < self.ema_decay <= 1.0:
+            raise ValueError("ema_decay must be in (0, 1]")
+
+
+@dataclass
+class IterationPlan:
+    """The planner's output for one MoE layer in one iteration.
+
+    Attributes:
+        layout: Expert re-layout strategy ``A`` used by the unshard.
+        routing_plan: Token routing plan ``S`` produced by the dispatcher for
+            the iteration's actual routing.
+        cost: Cost-model breakdown of ``(A, S)``.
+        planned_from_history: Whether the layout came from the tuner (True) or
+            is the static fallback used before any history exists (False).
+    """
+
+    layout: ExpertLayout
+    routing_plan: np.ndarray
+    cost: CostBreakdown
+    planned_from_history: bool
+
+
+class LoadBalancingPlanner:
+    """Per-layer planner combining the layout tuner and the token dispatcher."""
+
+    def __init__(self, topology: ClusterTopology, cost_model: MoECostModel,
+                 num_experts: int, config: PlannerConfig):
+        self.topology = topology
+        self.cost_model = cost_model
+        self.num_experts = num_experts
+        self.config = config
+        self.tuner = ExpertLayoutTuner(topology, cost_model, config.capacity,
+                                       config.tuner)
+        self._history: Dict[int, List[np.ndarray]] = {}
+        self._pending_layouts: Dict[int, ExpertLayout] = {}
+        self._fallback_layout = self._build_fallback_layout()
+
+    # ------------------------------------------------------------------
+    def _build_fallback_layout(self) -> ExpertLayout:
+        """Layout used before any routing history exists.
+
+        When the classic EP layout is expressible (``E`` divisible by ``C`` and
+        ``N`` divisible by ``E / C``) we start from it; otherwise we fall back
+        to a round-robin assignment that fills every device's capacity.
+        """
+        n = self.topology.num_devices
+        capacity = self.config.capacity
+        try:
+            return static_ep_layout(n, self.num_experts, capacity)
+        except ValueError:
+            assignment = np.zeros((n, self.num_experts), dtype=np.int64)
+            expert = 0
+            for device in range(n):
+                for _ in range(capacity):
+                    assignment[device, expert % self.num_experts] += 1
+                    expert += 1
+            return ExpertLayout(assignment, capacity)
+
+    # ------------------------------------------------------------------
+    # History management (asynchronous layout tuner input)
+    # ------------------------------------------------------------------
+    def observe(self, layer: int, routing: np.ndarray) -> None:
+        """Record the observed routing ``R`` of ``layer`` for the current iteration."""
+        routing = np.asarray(routing, dtype=np.int64)
+        if routing.shape != (self.topology.num_devices, self.num_experts):
+            raise ValueError("routing matrix has the wrong shape")
+        history = self._history.setdefault(layer, [])
+        history.append(routing.copy())
+        if len(history) > self.config.history_length:
+            history.pop(0)
+
+    def predicted_routing(self, layer: int) -> Optional[np.ndarray]:
+        """Predict the next iteration's routing of ``layer`` from its history."""
+        history = self._history.get(layer)
+        if not history:
+            return None
+        if self.config.ema_decay >= 1.0 or len(history) == 1:
+            return history[-1].astype(np.float64)
+        weights = np.array([
+            (1.0 - self.config.ema_decay) ** (len(history) - 1 - idx)
+            for idx in range(len(history))
+        ])
+        weights /= weights.sum()
+        stacked = np.stack(history).astype(np.float64)
+        return np.tensordot(weights, stacked, axes=1)
+
+    # ------------------------------------------------------------------
+    # Asynchronous layout tuning
+    # ------------------------------------------------------------------
+    def tune_layout(self, layer: int) -> ExpertLayout:
+        """Run the layout tuner for ``layer`` using its routing history.
+
+        This models the CPU-side solve that happens while the GPU computes the
+        current iteration; the returned layout is cached and used by the next
+        :meth:`plan_iteration` call for this layer.
+        """
+        predicted = self.predicted_routing(layer)
+        if predicted is None:
+            layout = self._fallback_layout.copy()
+        else:
+            layout = self.tuner.solve(np.rint(predicted).astype(np.int64)).layout
+        self._pending_layouts[layer] = layout
+        return layout
+
+    def current_layout(self, layer: int) -> ExpertLayout:
+        """The layout that will be used for the next iteration of ``layer``."""
+        return self._pending_layouts.get(layer, self._fallback_layout).copy()
+
+    # ------------------------------------------------------------------
+    # Synchronous dispatch (token dispatcher)
+    # ------------------------------------------------------------------
+    def dispatch(self, routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:
+        """Run the synchronous token dispatcher (lite routing) for one layer."""
+        return lite_route(np.asarray(routing, dtype=np.int64), layout, self.topology)
+
+    # ------------------------------------------------------------------
+    # Full per-iteration planning
+    # ------------------------------------------------------------------
+    def plan_iteration(self, routing_by_layer: np.ndarray) -> List[IterationPlan]:
+        """Plan one training iteration for every MoE layer.
+
+        Args:
+            routing_by_layer: ``(layers, N, E)`` actual routing of the current
+                iteration (what the gate just produced).
+
+        Returns:
+            One :class:`IterationPlan` per layer.  The layout of each layer is
+            the one tuned from *previous* iterations' history (asynchronous
+            adaptation); the dispatch uses the current iteration's routing.
+            After planning, the current routing is pushed into the history and
+            a new layout is tuned for the next iteration.
+        """
+        routing_by_layer = np.asarray(routing_by_layer, dtype=np.int64)
+        if routing_by_layer.ndim != 3:
+            raise ValueError("routing_by_layer must have shape (layers, N, E)")
+        plans: List[IterationPlan] = []
+        for layer in range(routing_by_layer.shape[0]):
+            routing = routing_by_layer[layer]
+            planned = layer in self._pending_layouts
+            layout = self.current_layout(layer)
+            plan = self.dispatch(routing, layout)
+            cost = self.cost_model.evaluate(plan)
+            plans.append(IterationPlan(layout=layout, routing_plan=plan,
+                                       cost=cost, planned_from_history=planned))
+            # Asynchronous part: feed the observation to the tuner so the next
+            # iteration of this layer uses an updated layout.
+            self.observe(layer, routing)
+            self.tune_layout(layer)
+        return plans
+
+    def reset(self) -> None:
+        """Clear all history and pending layouts (e.g. between experiments)."""
+        self._history.clear()
+        self._pending_layouts.clear()

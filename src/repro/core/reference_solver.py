@@ -1,0 +1,96 @@
+"""Brute-force reference solver for the joint layout/routing problem.
+
+The paper formulates expert re-layout + token routing as a nonlinear integer
+program (Eq. 2-4) that generic solvers such as SCIP can only handle at toy
+sizes.  This module provides exactly that: an exhaustive search over all
+capacity-respecting layouts (with lite routing or an optimal per-layout greedy
+split deciding the token routing), used by the test suite to certify that the
+heuristic layout tuner is close to optimal on small instances.
+
+Complexity is exponential in ``N * C``; keep ``N, E, C`` tiny (<= 4 devices,
+<= 4 experts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement, product
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.cost_model import CostBreakdown, MoECostModel
+from repro.core.layout import ExpertLayout
+from repro.core.lite_routing import lite_route
+
+
+@dataclass
+class ReferenceSolution:
+    """The optimal (exhaustive-search) solution of a small instance."""
+
+    layout: ExpertLayout
+    routing_plan: np.ndarray
+    cost: CostBreakdown
+    layouts_evaluated: int
+
+
+def enumerate_layouts(num_devices: int, num_experts: int,
+                      capacity: int) -> Iterator[ExpertLayout]:
+    """Yield every complete layout where each device uses its full capacity.
+
+    Device slots are filled with multisets of experts (order within a device
+    does not matter), and layouts that leave some expert without any replica
+    are skipped (dropless training requires completeness).
+    """
+    if num_devices <= 0 or num_experts <= 0 or capacity <= 0:
+        raise ValueError("num_devices, num_experts and capacity must be positive")
+    per_device_options = list(
+        combinations_with_replacement(range(num_experts), capacity))
+    for choice in product(per_device_options, repeat=num_devices):
+        assignment = np.zeros((num_devices, num_experts), dtype=np.int64)
+        for device, experts in enumerate(choice):
+            for expert in experts:
+                assignment[device, expert] += 1
+        if np.all(assignment.sum(axis=0) >= 1):
+            yield ExpertLayout(assignment, capacity)
+
+
+def solve_reference(routing: np.ndarray, topology: ClusterTopology,
+                    cost_model: MoECostModel, capacity: int,
+                    max_layouts: Optional[int] = 200_000) -> ReferenceSolution:
+    """Exhaustively search all layouts and return the cheapest one.
+
+    Args:
+        routing: ``(N, E)`` routing matrix of the instance.
+        topology: Cluster topology (must match the cost model's).
+        cost_model: The objective (Eq. 2) being minimised.
+        capacity: Expert capacity per device ``C``.
+        max_layouts: Safety cap on the number of layouts evaluated; exceeding
+            it raises ``RuntimeError`` so callers notice the instance is too
+            large for the reference solver.
+
+    Returns:
+        The optimal layout, its lite-routing plan and cost.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    num_devices, num_experts = routing.shape
+    if topology.num_devices != num_devices:
+        raise ValueError("topology size does not match the routing matrix")
+
+    best: Optional[ReferenceSolution] = None
+    evaluated = 0
+    for layout in enumerate_layouts(num_devices, num_experts, capacity):
+        evaluated += 1
+        if max_layouts is not None and evaluated > max_layouts:
+            raise RuntimeError(
+                f"more than {max_layouts} layouts; instance too large for "
+                f"the reference solver")
+        plan = lite_route(routing, layout, topology)
+        cost = cost_model.evaluate(plan)
+        if best is None or cost.total < best.cost.total:
+            best = ReferenceSolution(layout=layout, routing_plan=plan,
+                                     cost=cost, layouts_evaluated=evaluated)
+    assert best is not None
+    return ReferenceSolution(layout=best.layout, routing_plan=best.routing_plan,
+                             cost=best.cost, layouts_evaluated=evaluated)

@@ -1,0 +1,108 @@
+"""Expert relocation (Algorithm 1): place replicas on devices.
+
+Given the replica count of every expert (from Algorithm 4 or the even scheme)
+and the expert loads, the greedy relocation places replicas one by one, largest
+per-replica load first.  For each replica it prefers the node(s) currently
+holding the fewest replicas of that expert (so lite routing's intra-node
+splitting stays balanced) and, within those nodes, the device with the smallest
+accumulated load and free capacity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.layout import ExpertLayout
+
+
+def relocate_experts(expert_replicas: np.ndarray, expert_loads: np.ndarray,
+                     topology: ClusterTopology, capacity: int) -> ExpertLayout:
+    """Algorithm 1: greedy topology-aware placement of expert replicas.
+
+    Args:
+        expert_replicas: ``(E,)`` replica counts per expert, summing to at most
+            ``N * C`` (the layout tuner always passes exactly ``N * C``).
+        expert_loads: ``(E,)`` total token load of each expert.
+        topology: Cluster topology (for node awareness).
+        capacity: Expert capacity per device ``C``.
+
+    Returns:
+        An :class:`ExpertLayout` with every replica placed and no device
+        exceeding its capacity.
+    """
+    expert_replicas = np.asarray(expert_replicas, dtype=np.int64)
+    expert_loads = np.asarray(expert_loads, dtype=np.float64)
+    num_experts = expert_replicas.shape[0]
+    num_devices = topology.num_devices
+    if expert_loads.shape != (num_experts,):
+        raise ValueError("expert_loads and expert_replicas must align")
+    if np.any(expert_replicas < 1):
+        raise ValueError("every expert needs at least one replica")
+    if np.any(expert_loads < 0):
+        raise ValueError("expert loads must be non-negative")
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    total_replicas = int(expert_replicas.sum())
+    if total_replicas > num_devices * capacity:
+        raise ValueError(
+            f"{total_replicas} replicas exceed the cluster capacity "
+            f"{num_devices * capacity}")
+
+    # Build the replica list: one entry per replica, carrying the average load
+    # a replica of that expert will serve (Line 3-4).
+    replica_list: List[Tuple[int, float]] = []
+    for expert in range(num_experts):
+        avg_load = expert_loads[expert] / expert_replicas[expert]
+        replica_list.extend([(expert, avg_load)] * int(expert_replicas[expert]))
+    # Sort descending by load; ties broken by expert id for determinism (Line 5).
+    replica_list.sort(key=lambda item: (-item[1], item[0]))
+
+    assignment = np.zeros((num_devices, num_experts), dtype=np.int64)
+    device_slots = np.zeros(num_devices, dtype=np.int64)
+    device_loads = np.zeros(num_devices, dtype=np.float64)
+    node_of = np.array([topology.node(d) for d in range(num_devices)])
+    # Replica count of every expert on every node, maintained incrementally so
+    # the per-replica work stays O(nodes + devices) instead of O(nodes * devices).
+    node_expert_counts = np.zeros((topology.num_nodes, num_experts), dtype=np.int64)
+
+    for expert, load in replica_list:
+        node_counts = node_expert_counts[:, expert]
+        device = _select_device(node_counts, node_of, device_slots,
+                                device_loads, capacity)
+        assignment[device, expert] += 1
+        node_expert_counts[node_of[device], expert] += 1
+        device_loads[device] += load
+        device_slots[device] += 1
+
+    return ExpertLayout(assignment, capacity)
+
+
+def _select_device(node_counts: np.ndarray, node_of: np.ndarray,
+                   device_slots: np.ndarray, device_loads: np.ndarray,
+                   capacity: int) -> int:
+    """Pick the device for the next replica (Lines 8-10 of Algorithm 1).
+
+    Prefer nodes holding the fewest replicas of the expert, restricted to
+    devices with spare capacity; among candidates take the device with the
+    smallest accumulated load.  If every device on the preferred nodes is full,
+    progressively relax to nodes with the next-fewest replicas.
+    """
+    has_capacity = device_slots < capacity
+    if not np.any(has_capacity):
+        raise ValueError("no device has spare capacity for the replica")
+    # Nodes ordered by how many replicas of the expert they already hold.
+    for count in np.sort(np.unique(node_counts)):
+        candidate_nodes = np.nonzero(node_counts == count)[0]
+        mask = has_capacity & np.isin(node_of, candidate_nodes)
+        candidates = np.nonzero(mask)[0]
+        if candidates.size == 0:
+            continue
+        loads = device_loads[candidates]
+        return int(candidates[int(np.argmin(loads))])
+    # Fall back to any device with capacity (only reachable when the preferred
+    # nodes are all full).
+    candidates = np.nonzero(has_capacity)[0]
+    return int(candidates[int(np.argmin(device_loads[candidates]))])

@@ -1,0 +1,48 @@
+"""Numpy MoE transformer substrate.
+
+A from-scratch Mixture-of-Experts transformer language model implemented on
+top of numpy with hand-written backward passes.  It is small enough to train
+on a CPU but structurally faithful to the models in Table 2: RMSNorm,
+grouped-query causal attention, a top-k gated MoE MLP with SwiGLU experts,
+and the Switch-Transformer auxiliary load-balancing loss.
+
+The model serves three purposes in the reproduction:
+
+1. The convergence experiments (Fig. 2 and Fig. 9) train it end-to-end and
+   compare loss curves for different auxiliary-loss weights and systems.
+2. Its router produces *real* routing traces that feed the planner and the
+   iteration simulator.
+3. Its expert parameters are the payload the FSEP shard/unshard/reshard
+   machinery operates on in the correctness tests.
+"""
+
+from repro.model.parameter import Parameter, Module
+from repro.model.layers import Linear, RMSNorm, Embedding, softmax, cross_entropy
+from repro.model.attention import CausalSelfAttention
+from repro.model.expert import SwiGLUExpert
+from repro.model.gating import TopKGate, GatingOutput, switch_load_balancing_loss
+from repro.model.moe_layer import MoELayer
+from repro.model.transformer import MoETransformer, TransformerBlock, ModelOutput
+from repro.model.optimizer import Adam, SGD, clip_gradients
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "RMSNorm",
+    "Embedding",
+    "softmax",
+    "cross_entropy",
+    "CausalSelfAttention",
+    "SwiGLUExpert",
+    "TopKGate",
+    "GatingOutput",
+    "switch_load_balancing_loss",
+    "MoELayer",
+    "MoETransformer",
+    "TransformerBlock",
+    "ModelOutput",
+    "Adam",
+    "SGD",
+    "clip_gradients",
+]

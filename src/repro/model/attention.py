@@ -1,0 +1,135 @@
+"""Causal self-attention with grouped-query attention (GQA).
+
+A faithful (if small-scale) numpy implementation of the attention block used
+by Mixtral/Qwen: separate Q/K/V projections where K/V have fewer heads than Q,
+causal masking, scaled dot-product attention, and an output projection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.model.layers import Linear, softmax, softmax_backward
+from repro.model.parameter import Module
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal self-attention with optional grouped-query heads.
+
+    Args:
+        hidden_size: Model dimension ``H``.
+        num_heads: Number of query heads.
+        num_kv_heads: Number of key/value heads (must divide ``num_heads``).
+        bias: Whether the Q/K/V projections carry biases (Qwen-style).
+        rng: Random generator used for weight initialisation.
+    """
+
+    def __init__(self, hidden_size: int, num_heads: int,
+                 num_kv_heads: int | None = None, bias: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if hidden_size % num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        num_kv_heads = num_kv_heads or num_heads
+        if num_heads % num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads")
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = hidden_size // num_heads
+        self.group_size = num_heads // num_kv_heads
+        kv_dim = num_kv_heads * self.head_dim
+        self.q_proj = self.register_module(
+            "q_proj", Linear(hidden_size, hidden_size, bias=bias, rng=rng))
+        self.k_proj = self.register_module(
+            "k_proj", Linear(hidden_size, kv_dim, bias=bias, rng=rng))
+        self.v_proj = self.register_module(
+            "v_proj", Linear(hidden_size, kv_dim, bias=bias, rng=rng))
+        self.o_proj = self.register_module(
+            "o_proj", Linear(hidden_size, hidden_size, bias=False, rng=rng))
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Run attention over ``x`` of shape ``(batch, seq, hidden)``."""
+        if x.ndim != 3:
+            raise ValueError("expected input of shape (batch, seq, hidden)")
+        batch, seq, _ = x.shape
+        q, q_cache = self.q_proj.forward(x)
+        k, k_cache = self.k_proj.forward(x)
+        v, v_cache = self.v_proj.forward(x)
+
+        q = q.reshape(batch, seq, self.num_heads, self.head_dim)
+        k = k.reshape(batch, seq, self.num_kv_heads, self.head_dim)
+        v = v.reshape(batch, seq, self.num_kv_heads, self.head_dim)
+
+        # Expand K/V heads to match the query heads (grouped-query attention).
+        k_full = np.repeat(k, self.group_size, axis=2)
+        v_full = np.repeat(v, self.group_size, axis=2)
+
+        # (batch, heads, seq, head_dim)
+        qt = q.transpose(0, 2, 1, 3)
+        kt = k_full.transpose(0, 2, 1, 3)
+        vt = v_full.transpose(0, 2, 1, 3)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.matmul(qt, kt.transpose(0, 1, 3, 2)) * scale
+        mask = np.triu(np.ones((seq, seq), dtype=bool), k=1)
+        scores = np.where(mask, -1e30, scores)
+        attn = softmax(scores, axis=-1)
+        context = np.matmul(attn, vt)  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        out, o_cache = self.o_proj.forward(merged)
+        cache = {
+            "q_cache": q_cache, "k_cache": k_cache, "v_cache": v_cache,
+            "o_cache": o_cache, "attn": attn, "qt": qt, "kt": kt, "vt": vt,
+            "scale": scale, "shape": (batch, seq),
+        }
+        return out, cache
+
+    # ------------------------------------------------------------------
+    def backward(self, grad_output: np.ndarray, cache: Dict[str, Any]) -> np.ndarray:
+        """Backpropagate through the attention block, returning ``dL/dx``."""
+        batch, seq = cache["shape"]
+        attn, qt, kt, vt, scale = (cache["attn"], cache["qt"], cache["kt"],
+                                   cache["vt"], cache["scale"])
+
+        grad_merged = self.o_proj.backward(grad_output, cache["o_cache"])
+        grad_context = grad_merged.reshape(
+            batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        grad_attn = np.matmul(grad_context, vt.transpose(0, 1, 3, 2))
+        grad_vt = np.matmul(attn.transpose(0, 1, 3, 2), grad_context)
+        grad_scores = softmax_backward(grad_attn, attn, axis=-1)
+        # The masked positions received -1e30 before the softmax; their
+        # probabilities are ~0, so softmax_backward already zeroes them.
+        grad_qt = np.matmul(grad_scores, kt) * scale
+        grad_kt = np.matmul(grad_scores.transpose(0, 1, 3, 2), qt) * scale
+
+        grad_q = grad_qt.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        grad_k_full = grad_kt.transpose(0, 2, 1, 3)
+        grad_v_full = grad_vt.transpose(0, 2, 1, 3)
+
+        # Sum gradients of the repeated K/V heads back onto the shared heads.
+        grad_k = grad_k_full.reshape(
+            batch, seq, self.num_kv_heads, self.group_size, self.head_dim).sum(axis=3)
+        grad_v = grad_v_full.reshape(
+            batch, seq, self.num_kv_heads, self.group_size, self.head_dim).sum(axis=3)
+
+        kv_dim = self.num_kv_heads * self.head_dim
+        grad_x = self.q_proj.backward(grad_q, cache["q_cache"])
+        grad_x = grad_x + self.k_proj.backward(
+            grad_k.reshape(batch, seq, kv_dim), cache["k_cache"])
+        grad_x = grad_x + self.v_proj.backward(
+            grad_v.reshape(batch, seq, kv_dim), cache["v_cache"])
+        return grad_x
+
+    # ------------------------------------------------------------------
+    def flops_per_token(self, seq_length: int) -> float:
+        """Approximate forward FLOPs per token at context length ``seq_length``."""
+        proj = 2.0 * (self.hidden_size * self.hidden_size * 2
+                      + 2 * self.hidden_size * self.num_kv_heads * self.head_dim)
+        scores = 4.0 * seq_length * self.hidden_size
+        return proj + scores

@@ -1,0 +1,149 @@
+"""Top-k gating network and auxiliary load-balancing losses.
+
+The gate computes ``logits = x @ W_g``, selects the top-k experts per token and
+normalises the selected logits with a softmax (Mixtral-style).  The optional
+Switch-Transformer auxiliary loss encourages balanced routing; its weight is
+the hyper-parameter the paper's convergence experiments sweep (Fig. 2, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.model.layers import softmax, softmax_backward
+from repro.model.parameter import Module, Parameter
+
+
+@dataclass
+class GatingOutput:
+    """Result of running the gate over a batch of tokens.
+
+    Attributes:
+        expert_indices: ``(tokens, k)`` selected expert ids per token.
+        gate_weights: ``(tokens, k)`` combination weights (sum to 1 per token).
+        full_probs: ``(tokens, E)`` softmax over all experts (used by the
+            auxiliary loss and by expert-choice style analyses).
+        aux_loss: Scalar Switch-Transformer load-balancing loss (unweighted).
+        expert_counts: ``(E,)`` number of (token, k) assignments per expert.
+    """
+
+    expert_indices: np.ndarray
+    gate_weights: np.ndarray
+    full_probs: np.ndarray
+    aux_loss: float
+    expert_counts: np.ndarray
+
+
+def switch_load_balancing_loss(expert_counts: np.ndarray,
+                               full_probs: np.ndarray) -> float:
+    """Switch-Transformer auxiliary loss ``E * sum_e f_e * P_e``.
+
+    ``f_e`` is the fraction of assignments routed to expert ``e`` and ``P_e``
+    is the mean router probability of expert ``e``.  The loss equals 1.0 when
+    routing is perfectly balanced and grows as routing concentrates.
+    """
+    expert_counts = np.asarray(expert_counts, dtype=np.float64)
+    num_experts = expert_counts.shape[0]
+    total = expert_counts.sum()
+    if total == 0:
+        return 0.0
+    fractions = expert_counts / total
+    mean_probs = full_probs.mean(axis=0)
+    return float(num_experts * np.sum(fractions * mean_probs))
+
+
+class TopKGate(Module):
+    """Linear router with top-k selection and softmax-normalised gate weights."""
+
+    def __init__(self, hidden_size: int, num_experts: int, top_k: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 1 <= top_k <= num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.weight = self.register_parameter(
+            "weight",
+            Parameter(rng.normal(0.0, 0.02, size=(hidden_size, num_experts))))
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[GatingOutput, Dict[str, Any]]:
+        """Route tokens ``x`` of shape ``(tokens, hidden)``."""
+        if x.ndim != 2 or x.shape[1] != self.hidden_size:
+            raise ValueError("expected input of shape (tokens, hidden)")
+        logits = x @ self.weight.value
+        full_probs = softmax(logits, axis=-1)
+
+        # Top-k selection (descending by logit).
+        top_idx = np.argpartition(-logits, self.top_k - 1, axis=-1)[:, :self.top_k]
+        row = np.arange(logits.shape[0])[:, None]
+        top_logits = logits[row, top_idx]
+        order = np.argsort(-top_logits, axis=-1)
+        top_idx = np.take_along_axis(top_idx, order, axis=-1)
+        top_logits = np.take_along_axis(top_logits, order, axis=-1)
+
+        gate_weights = softmax(top_logits, axis=-1)
+        counts = np.bincount(top_idx.reshape(-1), minlength=self.num_experts)
+        aux = switch_load_balancing_loss(counts, full_probs)
+        output = GatingOutput(
+            expert_indices=top_idx,
+            gate_weights=gate_weights,
+            full_probs=full_probs,
+            aux_loss=aux,
+            expert_counts=counts.astype(np.int64),
+        )
+        cache = {
+            "x": x, "logits": logits, "full_probs": full_probs,
+            "top_idx": top_idx, "gate_weights": gate_weights,
+            "counts": counts,
+        }
+        return output, cache
+
+    # ------------------------------------------------------------------
+    def backward(self, grad_gate_weights: np.ndarray, aux_loss_weight: float,
+                 cache: Dict[str, Any]) -> np.ndarray:
+        """Backward through the gate.
+
+        Args:
+            grad_gate_weights: ``(tokens, k)`` gradient of the task loss w.r.t.
+                the gate combination weights.
+            aux_loss_weight: Coefficient of the auxiliary load-balancing loss
+                added to the total loss (0 disables it).
+            cache: Forward cache.
+
+        Returns:
+            ``(tokens, hidden)`` gradient w.r.t. the gate input.
+        """
+        x = cache["x"]
+        top_idx = cache["top_idx"]
+        gate_weights = cache["gate_weights"]
+        full_probs = cache["full_probs"]
+        counts = cache["counts"]
+        tokens = x.shape[0]
+
+        grad_logits = np.zeros((tokens, self.num_experts))
+
+        # Path 1: task loss -> gate weights (softmax over the selected logits).
+        grad_top_logits = softmax_backward(grad_gate_weights, gate_weights, axis=-1)
+        row = np.arange(tokens)[:, None]
+        np.add.at(grad_logits, (row, top_idx), grad_top_logits)
+
+        # Path 2: auxiliary loss -> full softmax probabilities.  The dispatch
+        # fractions f_e are treated as constants (they are not differentiable),
+        # so the gradient flows only through the mean probabilities P_e.
+        if aux_loss_weight != 0.0:
+            total = counts.sum()
+            if total > 0:
+                fractions = counts / total
+                grad_probs = np.tile(
+                    aux_loss_weight * self.num_experts * fractions / tokens,
+                    (tokens, 1))
+                grad_logits += softmax_backward(grad_probs, full_probs, axis=-1)
+
+        self.weight.accumulate(x.T @ grad_logits)
+        return grad_logits @ self.weight.value.T

@@ -1,0 +1,135 @@
+"""Mixture-of-Experts layer: top-k gating + SwiGLU experts, dropless.
+
+Tokens are dispatched to their top-k experts, each expert processes its
+assigned tokens, and the outputs are combined with the gate weights.  Training
+is *dropless* (no capacity-factor token dropping), matching Sec. 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.model.expert import SwiGLUExpert
+from repro.model.gating import GatingOutput, TopKGate
+from repro.model.parameter import Module
+
+
+class MoELayer(Module):
+    """A dropless top-k MoE MLP.
+
+    Args:
+        hidden_size: Model dimension ``H``.
+        intermediate_size: Expert intermediate dimension ``H'``.
+        num_experts: Number of experts ``E``.
+        top_k: Experts activated per token ``K``.
+        rng: Random generator used for weight initialisation.
+    """
+
+    def __init__(self, hidden_size: int, intermediate_size: int,
+                 num_experts: int, top_k: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.intermediate_size = intermediate_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.gate = self.register_module(
+            "gate", TopKGate(hidden_size, num_experts, top_k, rng=rng))
+        self.experts: List[SwiGLUExpert] = []
+        for idx in range(num_experts):
+            expert = SwiGLUExpert(hidden_size, intermediate_size, rng=rng)
+            self.register_module(f"experts.{idx}", expert)
+            self.experts.append(expert)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Run the MoE layer over ``x`` of shape ``(batch, seq, hidden)``.
+
+        The returned cache records the gating decision (used both for the
+        backward pass and for routing-trace extraction).
+        """
+        if x.ndim != 3:
+            raise ValueError("expected input of shape (batch, seq, hidden)")
+        batch, seq, hidden = x.shape
+        flat = x.reshape(-1, hidden)
+        gating, gate_cache = self.gate.forward(flat)
+
+        out = np.zeros_like(flat)
+        expert_caches: Dict[int, Dict[str, Any]] = {}
+        expert_token_slots: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for expert_id in range(self.num_experts):
+            token_idx, slot_idx = np.nonzero(gating.expert_indices == expert_id)
+            if token_idx.size == 0:
+                continue
+            expert_in = flat[token_idx]
+            expert_out, cache = self.experts[expert_id].forward(expert_in)
+            weights = gating.gate_weights[token_idx, slot_idx][:, None]
+            np.add.at(out, token_idx, weights * expert_out)
+            expert_caches[expert_id] = cache
+            expert_caches[expert_id]["expert_out"] = expert_out
+            expert_token_slots[expert_id] = (token_idx, slot_idx)
+
+        cache = {
+            "gating": gating,
+            "gate_cache": gate_cache,
+            "expert_caches": expert_caches,
+            "expert_token_slots": expert_token_slots,
+            "flat": flat,
+            "shape": (batch, seq, hidden),
+        }
+        return out.reshape(batch, seq, hidden), cache
+
+    # ------------------------------------------------------------------
+    def backward(self, grad_output: np.ndarray, cache: Dict[str, Any],
+                 aux_loss_weight: float = 0.0) -> np.ndarray:
+        """Backward through the MoE layer, returning ``dL/dx``.
+
+        Args:
+            grad_output: ``(batch, seq, hidden)`` upstream gradient.
+            cache: Forward cache.
+            aux_loss_weight: Auxiliary-loss coefficient (the aux-loss gradient
+                is injected here so the layer is self-contained).
+        """
+        batch, seq, hidden = cache["shape"]
+        gating: GatingOutput = cache["gating"]
+        flat_grad_out = grad_output.reshape(-1, hidden)
+        flat = cache["flat"]
+
+        grad_flat = np.zeros_like(flat)
+        grad_gate_weights = np.zeros_like(gating.gate_weights)
+
+        for expert_id, (token_idx, slot_idx) in cache["expert_token_slots"].items():
+            expert_cache = cache["expert_caches"][expert_id]
+            expert_out = expert_cache["expert_out"]
+            weights = gating.gate_weights[token_idx, slot_idx][:, None]
+            upstream = flat_grad_out[token_idx]
+            # d/d gate_weight = <upstream, expert_out>
+            grad_gate_weights[token_idx, slot_idx] += np.sum(
+                upstream * expert_out, axis=-1)
+            grad_expert_out = upstream * weights
+            grad_expert_in = self.experts[expert_id].backward(
+                grad_expert_out, expert_cache)
+            np.add.at(grad_flat, token_idx, grad_expert_in)
+
+        grad_flat += self.gate.backward(
+            grad_gate_weights, aux_loss_weight, cache["gate_cache"])
+        return grad_flat.reshape(batch, seq, hidden)
+
+    # ------------------------------------------------------------------
+    def expert_counts(self, cache: Dict[str, Any]) -> np.ndarray:
+        """Return the per-expert assignment counts recorded during forward."""
+        gating: GatingOutput = cache["gating"]
+        return gating.expert_counts.copy()
+
+    def aux_loss(self, cache: Dict[str, Any]) -> float:
+        """Return the (unweighted) auxiliary loss recorded during forward."""
+        gating: GatingOutput = cache["gating"]
+        return gating.aux_loss
+
+    def flops_per_token(self) -> float:
+        """Forward FLOPs per token (top-k experts + router)."""
+        router = 2.0 * self.hidden_size * self.num_experts
+        return self.top_k * self.experts[0].flops_per_token() + router

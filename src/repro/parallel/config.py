@@ -1,0 +1,84 @@
+"""Hybrid parallelism configuration: which dimension gets how many devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Sizes of the parallel dimensions of a hybrid strategy.
+
+    The product of all dimensions must equal the number of devices the
+    strategy runs on.  For heterogeneous strategies (Megatron-style), the
+    attention layers use ``tp_size`` x ``dp_size`` while the MoE layers use
+    ``ep_size`` x ``fsdp_size``; the two products must match.
+
+    Attributes:
+        tp_size: Tensor-parallel degree of the attention layers.
+        pp_size: Pipeline-parallel degree (1 = no pipelining).
+        ep_size: Expert-parallel degree of the MoE layers.
+        fsdp_size: Fully-sharded data-parallel degree applied to the expert
+            parameters inside each EP group (1 = experts fully resident).
+        dp_size: Data-parallel degree of the non-expert parameters.
+    """
+
+    tp_size: int = 1
+    pp_size: int = 1
+    ep_size: int = 1
+    fsdp_size: int = 1
+    dp_size: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("tp_size", "pp_size", "ep_size", "fsdp_size", "dp_size"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def attention_world_size(self) -> int:
+        """Devices covered by the attention layers' strategy."""
+        return self.tp_size * self.dp_size * self.pp_size
+
+    @property
+    def moe_world_size(self) -> int:
+        """Devices covered by the MoE layers' strategy."""
+        return self.ep_size * self.fsdp_size * self.pp_size
+
+    def validate(self, num_devices: int) -> None:
+        """Check the configuration covers exactly ``num_devices`` devices."""
+        if self.attention_world_size != num_devices:
+            raise ValueError(
+                f"attention strategy covers {self.attention_world_size} devices, "
+                f"cluster has {num_devices}")
+        if self.moe_world_size != num_devices:
+            raise ValueError(
+                f"MoE strategy covers {self.moe_world_size} devices, "
+                f"cluster has {num_devices}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def megatron(cls, num_devices: int, tp_size: int, ep_size: int,
+                 pp_size: int = 1) -> "ParallelismConfig":
+        """Megatron-style heterogeneous strategy: TP attention + EP MoE."""
+        if num_devices % (tp_size * pp_size) != 0:
+            raise ValueError("tp_size * pp_size must divide num_devices")
+        if num_devices % (ep_size * pp_size) != 0:
+            raise ValueError("ep_size * pp_size must divide num_devices")
+        return cls(tp_size=tp_size, pp_size=pp_size, ep_size=ep_size,
+                   fsdp_size=num_devices // (ep_size * pp_size),
+                   dp_size=num_devices // (tp_size * pp_size))
+
+    @classmethod
+    def fsdp_ep(cls, num_devices: int, ep_size: int) -> "ParallelismConfig":
+        """FSDP+EP hybrid: FSDP everywhere, EP inside the MoE layers."""
+        if num_devices % ep_size != 0:
+            raise ValueError("ep_size must divide num_devices")
+        return cls(tp_size=1, pp_size=1, ep_size=ep_size,
+                   fsdp_size=num_devices // ep_size, dp_size=num_devices)
+
+    @classmethod
+    def fsep(cls, num_devices: int) -> "ParallelismConfig":
+        """FSEP: every expert sharded across all devices (P_fsep = N)."""
+        return cls(tp_size=1, pp_size=1, ep_size=1, fsdp_size=num_devices,
+                   dp_size=num_devices)

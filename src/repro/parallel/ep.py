@@ -1,0 +1,85 @@
+"""Expert-parallel process groups: which device owns which experts.
+
+Classic expert parallelism partitions the experts into ``P_ep = E / C`` groups
+of ``C`` and assigns each group to one device of every EP communication group.
+This module exposes those group structures (the simulator needs them to scope
+All-to-All and gradient collectives correctly) and the static ownership map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cluster.topology import ClusterTopology
+
+
+@dataclass
+class ExpertParallelGroups:
+    """EP/FSDP group structure for a cluster.
+
+    Attributes:
+        topology: The cluster the groups are formed over.
+        ep_size: Number of devices in each expert-parallel group (``P_ep``).
+        num_experts: Number of experts ``E``.
+    """
+
+    topology: ClusterTopology
+    ep_size: int
+    num_experts: int
+
+    def __post_init__(self) -> None:
+        if self.ep_size <= 0:
+            raise ValueError("ep_size must be positive")
+        if self.topology.num_devices % self.ep_size != 0:
+            raise ValueError("ep_size must divide the number of devices")
+        if self.num_experts % self.ep_size != 0:
+            raise ValueError("num_experts must be a multiple of ep_size")
+
+    # ------------------------------------------------------------------
+    @property
+    def experts_per_device(self) -> int:
+        """Experts owned by each device (``C``)."""
+        return self.num_experts // self.ep_size
+
+    @property
+    def fsdp_size(self) -> int:
+        """Devices sharing each expert's parameters in the FSDP dimension."""
+        return self.topology.num_devices // self.ep_size
+
+    def ep_rank(self, device: int) -> int:
+        """EP rank of a device (which expert subset it owns)."""
+        return device % self.ep_size
+
+    def ep_group(self, device: int) -> List[int]:
+        """The EP group of ``device``: the devices its tokens can reach."""
+        row_start = (device // self.ep_size) * self.ep_size
+        return list(range(row_start, row_start + self.ep_size))
+
+    def fsdp_group(self, device: int) -> List[int]:
+        """Devices sharing the same experts as ``device`` (FSDP replicas)."""
+        rank = self.ep_rank(device)
+        return [d for d in self.topology.devices() if d % self.ep_size == rank]
+
+    def owner_of(self, device: int, expert: int) -> int:
+        """Device inside ``device``'s EP group that owns ``expert``."""
+        if not 0 <= expert < self.num_experts:
+            raise ValueError("expert out of range")
+        row_start = (device // self.ep_size) * self.ep_size
+        return row_start + expert // self.experts_per_device
+
+    def experts_of(self, device: int) -> List[int]:
+        """Experts owned by ``device``."""
+        rank = self.ep_rank(device)
+        start = rank * self.experts_per_device
+        return list(range(start, start + self.experts_per_device))
+
+    def ownership_matrix(self) -> np.ndarray:
+        """``(N, E)`` binary matrix of expert ownership."""
+        n = self.topology.num_devices
+        matrix = np.zeros((n, self.num_experts), dtype=np.int64)
+        for device in range(n):
+            matrix[device, self.experts_of(device)] = 1
+        return matrix

@@ -1,0 +1,45 @@
+"""Discrete-event iteration simulator.
+
+Turns a (model configuration, cluster topology, training system, routing
+trace) tuple into per-iteration times and component breakdowns:
+
+* :mod:`repro.sim.streams` -- a small multi-stream event scheduler (operations
+  with dependencies placed on named streams, like CUDA streams), used to build
+  Fig. 5 style timelines.
+* :mod:`repro.sim.iteration` -- the per-iteration cost assembly: attention,
+  token All-to-All, expert computation (after load balancing), parameter
+  prefetch, gradient synchronisation and re-layout overheads.
+* :mod:`repro.sim.systems` -- the training-system configurations compared in
+  the paper (Megatron, FSDP+EP, FlexMoE, LAER-MoE, plus ablations).
+* :mod:`repro.sim.engine` -- runs a system over a routing trace and aggregates
+  throughput, breakdowns and balance statistics.
+"""
+
+from repro.sim.streams import StreamOp, StreamScheduler, StreamTimeline
+from repro.sim.iteration import IterationSimulator, IterationResult, LayerResult
+from repro.sim.systems import (
+    SystemSpec,
+    make_system,
+    available_systems,
+    choose_megatron_tp,
+)
+from repro.sim.engine import TrainingRunSimulator, RunResult
+from repro.sim.timeline import ForwardTimeline, build_forward_timeline, format_timeline
+
+__all__ = [
+    "StreamOp",
+    "StreamScheduler",
+    "StreamTimeline",
+    "IterationSimulator",
+    "IterationResult",
+    "LayerResult",
+    "SystemSpec",
+    "make_system",
+    "available_systems",
+    "choose_megatron_tp",
+    "TrainingRunSimulator",
+    "RunResult",
+    "ForwardTimeline",
+    "build_forward_timeline",
+    "format_timeline",
+]

@@ -1,0 +1,142 @@
+"""Run a training system over a routing trace and aggregate the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.sim.iteration import IterationResult
+from repro.sim.systems import SystemSpec
+from repro.workloads.routing_traces import RoutingTrace
+
+
+@dataclass
+class RunResult:
+    """Aggregated outcome of simulating a system over a routing trace.
+
+    Attributes:
+        system: Name of the simulated system.
+        iterations: Per-iteration simulation results.
+        tokens_per_iteration: Global tokens processed per iteration.
+    """
+
+    system: str
+    iterations: List[IterationResult] = field(default_factory=list)
+    tokens_per_iteration: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_iteration_time(self) -> float:
+        """Average iteration time in seconds."""
+        if not self.iterations:
+            return 0.0
+        return float(np.mean([it.total_time for it in self.iterations]))
+
+    @property
+    def throughput(self) -> float:
+        """Average training throughput in tokens per second."""
+        time = self.mean_iteration_time
+        if time <= 0:
+            return float("inf")
+        return self.tokens_per_iteration / time
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Throughput ratio of this run over another run."""
+        if other.throughput == 0:
+            return float("inf")
+        return self.throughput / other.throughput
+
+    # ------------------------------------------------------------------
+    def mean_breakdown(self) -> Dict[str, float]:
+        """Average per-iteration time of every breakdown component."""
+        if not self.iterations:
+            return {}
+        keys = self.iterations[0].breakdown.keys()
+        return {key: float(np.mean([it.breakdown[key] for it in self.iterations]))
+                for key in keys}
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        """Breakdown components as fractions of the mean iteration time."""
+        breakdown = self.mean_breakdown()
+        total = self.mean_iteration_time
+        if total <= 0:
+            return {key: 0.0 for key in breakdown}
+        return {key: value / total for key, value in breakdown.items()}
+
+    def all_to_all_fraction(self) -> float:
+        """Fraction of iteration time spent in (exposed) All-to-All traffic."""
+        fractions = self.breakdown_fractions()
+        return (fractions.get("all_to_all", 0.0)
+                + fractions.get("exposed_comm", 0.0)
+                + fractions.get("relayout", 0.0))
+
+    def mean_relative_max_tokens(self) -> float:
+        """Mean over iterations of the worst relative max token count."""
+        if not self.iterations:
+            return 1.0
+        return float(np.mean([it.max_relative_tokens for it in self.iterations]))
+
+    def per_layer_relative_max_tokens(self) -> List[float]:
+        """Mean relative max token count per MoE layer (Fig. 10b series)."""
+        if not self.iterations:
+            return []
+        num_layers = len(self.iterations[0].layers)
+        values = []
+        for layer in range(num_layers):
+            values.append(float(np.mean([
+                it.layers[layer].relative_max_tokens for it in self.iterations])))
+        return values
+
+
+class TrainingRunSimulator:
+    """Drive a :class:`SystemSpec` over a :class:`RoutingTrace`."""
+
+    def __init__(self, system: SystemSpec):
+        self.system = system
+
+    def run(self, trace: RoutingTrace, max_iterations: int | None = None,
+            warmup: int = 0) -> RunResult:
+        """Simulate the system over the trace.
+
+        Args:
+            trace: Routing trace to replay.
+            max_iterations: Optional cap on the number of iterations simulated.
+            warmup: Iterations at the start that are simulated (so adaptive
+                policies build their history) but excluded from the result.
+
+        Returns:
+            A :class:`RunResult` containing the post-warmup iterations.
+        """
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        total = trace.num_iterations
+        if max_iterations is not None:
+            total = min(total, max_iterations + warmup)
+        if warmup >= total:
+            raise ValueError("warmup leaves no iterations to measure")
+
+        self.system.reset()
+        global_tokens = trace.tokens_per_device * trace.num_devices
+        result = RunResult(system=self.system.name,
+                           tokens_per_iteration=global_tokens)
+        for iteration in range(total):
+            routing = trace.iteration(iteration)
+            decisions = self.system.policy.decide_iteration(routing)
+            sim_result = self.system.simulator.simulate_iteration(
+                iteration, decisions)
+            if iteration >= warmup:
+                result.iterations.append(sim_result)
+        return result
+
+
+def compare_systems(systems: List[SystemSpec], trace: RoutingTrace,
+                    max_iterations: int | None = None,
+                    warmup: int = 0) -> Dict[str, RunResult]:
+    """Run several systems over the same trace and return results by name."""
+    results: Dict[str, RunResult] = {}
+    for system in systems:
+        results[system.name] = TrainingRunSimulator(system).run(
+            trace, max_iterations=max_iterations, warmup=warmup)
+    return results

@@ -1,0 +1,295 @@
+"""Per-iteration cost assembly.
+
+The :class:`IterationSimulator` converts the decisions of a load-balancing
+policy (expert layouts and token routing plans) into time, using the cluster's
+collective cost models and the Fig. 5 communication schedule:
+
+* attention (and the rest of the dense transformer work) on every device,
+  optionally under tensor parallelism;
+* the token dispatch / combine All-to-All, charged from the actual per-pair
+  traffic of the routing plan;
+* expert computation, taken as the *maximum* across devices (the tail latency
+  the paper targets);
+* expert-parameter prefetch and gradient synchronisation, whose exposure
+  depends on the paradigm (FSEP unshard/reshard, FSDP All-Gather /
+  Reduce-Scatter, or Megatron's replicated gradients);
+* re-layout overheads reported by the policy (migrations, shadow broadcasts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import PolicyDecision
+from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.topology import ClusterTopology
+from repro.core.comm_schedule import (
+    CommScheduleConfig,
+    LayerTimings,
+    schedule_layer,
+)
+from repro.parallel.tp import TensorParallelCost
+from repro.workloads.model_configs import MoEModelConfig
+
+#: Activation / parameter element width used throughout the simulator (bf16).
+BYTES_PER_ELEMENT = 2
+
+
+@dataclass
+class LayerResult:
+    """Simulated time of one MoE transformer layer (forward + backward)."""
+
+    layer: int
+    forward_time: float
+    backward_time: float
+    attention_time: float
+    expert_compute_time: float
+    all_to_all_time: float
+    exposed_comm_time: float
+    relayout_time: float
+    max_tokens: int
+    ideal_tokens: float
+
+    @property
+    def total_time(self) -> float:
+        return self.forward_time + self.backward_time + self.relayout_time
+
+    @property
+    def relative_max_tokens(self) -> float:
+        """Maximum per-device token count relative to perfect balance."""
+        if self.ideal_tokens == 0:
+            return 1.0
+        return self.max_tokens / self.ideal_tokens
+
+
+@dataclass
+class IterationResult:
+    """Simulated time of one full training iteration."""
+
+    iteration: int
+    total_time: float
+    breakdown: Dict[str, float]
+    layers: List[LayerResult] = field(default_factory=list)
+
+    @property
+    def max_relative_tokens(self) -> float:
+        """Worst relative max token count across layers (Fig. 10b metric)."""
+        return max((layer.relative_max_tokens for layer in self.layers), default=1.0)
+
+    def throughput(self, global_tokens: int) -> float:
+        """Training throughput in tokens/s for a given global batch size."""
+        if self.total_time <= 0:
+            return float("inf")
+        return global_tokens / self.total_time
+
+
+@dataclass
+class IterationSimulator:
+    """Assemble iteration time from policy decisions.
+
+    Attributes:
+        config: Model configuration (Table 2 entry).
+        topology: Cluster topology.
+        tokens_per_device: Tokens per device per micro-batch ``S``.
+        paradigm: ``"fsep"``, ``"fsdp_ep"`` or ``"megatron"`` -- controls how
+            parameter prefetch and gradient synchronisation are charged.
+        schedule: Fig. 5 communication scheduling configuration.
+        tp_size: Tensor-parallel degree of the attention layers (Megatron).
+        ep_size: Expert-parallel degree (for the FSDP+EP / Megatron paradigms).
+        activation_checkpointing: Whether expert recomputation is enabled.
+        num_layers: Number of MoE transformer layers simulated per iteration;
+            defaults to the model's layer count.
+    """
+
+    config: MoEModelConfig
+    topology: ClusterTopology
+    tokens_per_device: int
+    paradigm: str = "fsep"
+    schedule: CommScheduleConfig = field(default_factory=CommScheduleConfig.all_enabled)
+    tp_size: int = 1
+    ep_size: int = 1
+    activation_checkpointing: bool = False
+    num_layers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.tokens_per_device <= 0:
+            raise ValueError("tokens_per_device must be positive")
+        if self.paradigm not in ("fsep", "fsdp_ep", "megatron"):
+            raise ValueError(f"unknown paradigm {self.paradigm!r}")
+        if self.tp_size < 1 or self.ep_size < 1:
+            raise ValueError("tp_size and ep_size must be at least 1")
+        self.collectives = CollectiveCostModel(self.topology)
+        self._tp_cost = TensorParallelCost(self.topology, self.config, self.tp_size)
+        if self.num_layers is None:
+            self.num_layers = self.config.num_layers
+
+    # ------------------------------------------------------------------
+    # Component costs
+    # ------------------------------------------------------------------
+    def attention_forward_time(self) -> float:
+        """Forward attention (+ dense work) time per layer per device."""
+        return self._tp_cost.attention_forward_time(self.tokens_per_device)
+
+    def token_a2a_time(self, routing_plan: np.ndarray) -> float:
+        """One token All-to-All (dispatch or combine) from the routing plan."""
+        plan = np.asarray(routing_plan, dtype=np.float64)
+        pairwise_tokens = plan.sum(axis=1)
+        traffic = pairwise_tokens * self.config.hidden_size * BYTES_PER_ELEMENT
+        np.fill_diagonal(traffic, 0.0)
+        return self.collectives.all_to_all(traffic)
+
+    def expert_forward_time(self, routing_plan: np.ndarray) -> float:
+        """Forward expert computation time of the most loaded device."""
+        plan = np.asarray(routing_plan, dtype=np.float64)
+        tokens_per_device = plan.sum(axis=(0, 1))
+        flops = tokens_per_device.max() * self.config.expert_flops_per_token
+        return flops / self.topology.device_spec.effective_flops
+
+    def expert_forward_time_mean(self, routing_plan: np.ndarray) -> float:
+        """Forward expert computation time averaged across devices.
+
+        This is the per-rank *useful* compute time; the difference between the
+        max and the mean is the stall the slower ranks spend waiting inside the
+        All-to-All combine, which the paper's profiles attribute to
+        communication time.
+        """
+        plan = np.asarray(routing_plan, dtype=np.float64)
+        tokens_per_device = plan.sum(axis=(0, 1))
+        flops = tokens_per_device.mean() * self.config.expert_flops_per_token
+        return flops / self.topology.device_spec.effective_flops
+
+    def prefetch_time(self) -> float:
+        """Expert-parameter restore time per layer for the active paradigm."""
+        expert_bytes = self.config.expert_param_bytes
+        capacity = self.config.expert_capacity
+        n = self.topology.num_devices
+        if self.paradigm == "fsep":
+            bytes_per_pair = capacity * expert_bytes / n
+            return self.collectives.uniform_all_to_all(bytes_per_pair)
+        if self.paradigm == "fsdp_ep":
+            fsdp_size = max(1, n // self.ep_size)
+            if fsdp_size == 1:
+                return 0.0
+            group = [d for d in range(n) if d % self.ep_size == 0][:fsdp_size]
+            return self.collectives.all_gather(
+                capacity * expert_bytes / fsdp_size, group)
+        # Megatron: experts are fully resident on their owner, no restore.
+        return 0.0
+
+    def grad_sync_time(self) -> float:
+        """Expert gradient synchronisation time per layer for the paradigm."""
+        expert_bytes = self.config.expert_param_bytes
+        capacity = self.config.expert_capacity
+        n = self.topology.num_devices
+        if self.paradigm == "fsep":
+            bytes_per_pair = capacity * expert_bytes / n
+            return self.collectives.uniform_all_to_all(bytes_per_pair)
+        if self.paradigm == "fsdp_ep":
+            fsdp_size = max(1, n // self.ep_size)
+            if fsdp_size == 1:
+                return 0.0
+            group = [d for d in range(n) if d % self.ep_size == 0][:fsdp_size]
+            return self.collectives.reduce_scatter(
+                capacity * expert_bytes / fsdp_size, group)
+        # Megatron: replicated expert gradients are All-Reduced across the
+        # expert data-parallel group (N / ep_size ranks share each expert).
+        dp = max(1, n // max(1, self.ep_size))
+        if dp == 1:
+            return 0.0
+        group = list(range(0, n, max(1, n // dp)))[:dp]
+        return self.collectives.all_reduce(capacity * expert_bytes, group)
+
+    def attention_prefetch_time(self) -> float:
+        """Prefetch/all-gather time of one layer's non-expert parameters."""
+        if self.paradigm == "megatron":
+            return 0.0
+        n = self.topology.num_devices
+        other_bytes = self.config.non_expert_params_per_layer * BYTES_PER_ELEMENT
+        return self.collectives.all_gather(other_bytes / n)
+
+    def exposed_time_from_bytes(self, num_bytes: float) -> float:
+        """Convert policy-reported exposed re-layout bytes into time."""
+        if num_bytes <= 0:
+            return 0.0
+        bandwidth = self.topology.inter_node_bandwidth * self.collectives.efficiency
+        return num_bytes / bandwidth
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def simulate_layer(self, layer: int, decision: PolicyDecision) -> LayerResult:
+        """Simulate one MoE transformer layer from a policy decision.
+
+        The layer's duration is driven by the *slowest* device's expert
+        computation; in the per-rank-averaged breakdown (what the paper's
+        profiles report), the stall of the faster ranks shows up as
+        All-to-All time, so the expert-compute bucket records the mean and the
+        difference max - mean is added to the All-to-All bucket.
+        """
+        attention = self.attention_forward_time()
+        a2a = self.token_a2a_time(decision.routing_plan)
+        expert_max = self.expert_forward_time(decision.routing_plan)
+        expert_mean = self.expert_forward_time_mean(decision.routing_plan)
+        timings = LayerTimings(
+            attention_compute=attention,
+            expert_compute=expert_max,
+            token_a2a=a2a,
+            expert_prefetch=self.prefetch_time(),
+            attention_prefetch=self.attention_prefetch_time(),
+            grad_sync=self.grad_sync_time()
+            + self.exposed_time_from_bytes(decision.grad_sync_extra_bytes),
+        )
+        scheduled = schedule_layer(timings, self.schedule)
+        relayout = self.exposed_time_from_bytes(decision.relayout_bytes_exposed)
+        if self.activation_checkpointing:
+            recompute = expert_max + attention
+        else:
+            recompute = 0.0
+        imbalance_wait = 3.0 * (expert_max - expert_mean)
+        plan = np.asarray(decision.routing_plan, dtype=np.float64)
+        tokens_per_device = plan.sum(axis=(0, 1))
+        ideal = plan.sum() / self.topology.num_devices
+        return LayerResult(
+            layer=layer,
+            forward_time=scheduled.forward_time,
+            backward_time=scheduled.backward_time + recompute,
+            attention_time=3.0 * attention,
+            expert_compute_time=3.0 * expert_mean,
+            all_to_all_time=scheduled.a2a_time + imbalance_wait,
+            exposed_comm_time=scheduled.exposed_prefetch + scheduled.exposed_grad_sync,
+            relayout_time=relayout,
+            max_tokens=int(tokens_per_device.max()),
+            ideal_tokens=float(ideal),
+        )
+
+    def simulate_iteration(self, iteration: int,
+                           decisions: Sequence[PolicyDecision]) -> IterationResult:
+        """Simulate one iteration from the per-layer policy decisions.
+
+        When the policy was driven with fewer layers than the model has (the
+        usual case: traces carry a handful of representative layers), the
+        simulated layers are scaled up to the model's layer count.
+        """
+        if not decisions:
+            raise ValueError("decisions must not be empty")
+        layer_results = [self.simulate_layer(layer, decision)
+                         for layer, decision in enumerate(decisions)]
+        scale = self.num_layers / len(layer_results)
+        breakdown = {
+            "attention_and_other": scale * sum(r.attention_time for r in layer_results),
+            "expert_compute": scale * sum(r.expert_compute_time for r in layer_results),
+            "all_to_all": scale * sum(r.all_to_all_time for r in layer_results),
+            "exposed_comm": scale * sum(r.exposed_comm_time for r in layer_results),
+            "relayout": scale * sum(r.relayout_time for r in layer_results),
+        }
+        total = scale * sum(r.total_time for r in layer_results)
+        breakdown["other"] = max(0.0, total - sum(breakdown.values()))
+        return IterationResult(
+            iteration=iteration,
+            total_time=total,
+            breakdown=breakdown,
+            layers=layer_results,
+        )

@@ -1,0 +1,181 @@
+"""Training-system configurations compared in the paper.
+
+A :class:`SystemSpec` bundles everything the run simulator needs to model one
+of the compared systems on a given model and cluster:
+
+* the parallel paradigm (``megatron``, ``fsdp_ep`` or ``fsep``), which controls
+  how expert parameters are stored and synchronised;
+* the load-balancing policy deciding expert layouts and token routing;
+* the communication-scheduling configuration (Fig. 5 optimisations);
+* the tensor-parallel degree of the attention layers (Megatron only).
+
+``make_system`` builds the specs for the systems evaluated in Fig. 8 / Fig. 10
+/ Fig. 12: ``megatron``, ``fsdp_ep``, ``fastermoe``, ``smartmoe``, ``prophet``,
+``flexmoe``, ``laer``, ``oracle`` and the LAER ablations ``laer_pq_only``,
+``laer_even_only`` and ``laer_no_comm_opt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines import (
+    FasterMoEPolicy,
+    FlexMoEPolicy,
+    LAERPolicy,
+    LoadBalancingPolicy,
+    OracleBalancedPolicy,
+    ProphetPolicy,
+    SmartMoEPolicy,
+    StaticEPPolicy,
+)
+from repro.cluster.memory import MemoryModel
+from repro.cluster.topology import ClusterTopology
+from repro.core.comm_schedule import CommScheduleConfig
+from repro.core.cost_model import MoECostModel
+from repro.core.layout_tuner import TunerConfig
+from repro.sim.iteration import IterationSimulator
+from repro.workloads.model_configs import MoEModelConfig
+
+
+@dataclass
+class SystemSpec:
+    """A fully-instantiated training system ready for simulation."""
+
+    name: str
+    paradigm: str
+    policy: LoadBalancingPolicy
+    simulator: IterationSimulator
+    tp_size: int = 1
+    ep_size: int = 1
+
+    def reset(self) -> None:
+        """Reset the policy's adaptive state between runs."""
+        self.policy.reset()
+
+
+def available_systems() -> List[str]:
+    """Names accepted by :func:`make_system`."""
+    return [
+        "megatron",
+        "fsdp_ep",
+        "fastermoe",
+        "smartmoe",
+        "prophet",
+        "flexmoe",
+        "laer",
+        "oracle",
+        "laer_pq_only",
+        "laer_even_only",
+        "laer_no_comm_opt",
+    ]
+
+
+def choose_megatron_tp(config: MoEModelConfig, topology: ClusterTopology,
+                       tokens_per_device: int) -> int:
+    """Pick the smallest attention TP degree that fits in device memory.
+
+    Megatron must enlarge TP when the model states and activations of a
+    configuration do not fit (the paper explains this is why it loses to
+    FSDP+EP on the larger e8k2 models); the search mirrors that manual tuning.
+    """
+    memory = MemoryModel(config, topology, activation_checkpointing=False)
+    ep_size = max(1, config.num_experts // config.expert_capacity)
+    candidates = [tp for tp in (1, 2, 4, 8) if tp <= topology.devices_per_node]
+    for tp in candidates:
+        dp = max(1, topology.num_devices // tp)
+        breakdown = memory.megatron_breakdown(
+            tokens_per_device, tp_size=tp, ep_size=ep_size,
+            optimizer_sharding_dp=dp)
+        if memory.fits(breakdown):
+            return tp
+    return candidates[-1]
+
+
+def _laer_tuner_config(variant: str) -> TunerConfig:
+    if variant == "pq_only":
+        return TunerConfig(num_candidates=1, use_priority_queue=True, use_even=False)
+    if variant == "even_only":
+        return TunerConfig(num_candidates=1, use_priority_queue=False, use_even=True)
+    return TunerConfig(num_candidates=2, use_priority_queue=True, use_even=True)
+
+
+def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
+                tokens_per_device: int,
+                activation_checkpointing: bool = False) -> SystemSpec:
+    """Instantiate one of the compared training systems.
+
+    Args:
+        name: One of :func:`available_systems`.
+        config: Model configuration (Table 2 entry).
+        topology: Cluster topology.
+        tokens_per_device: Tokens per device per micro-batch.
+        activation_checkpointing: Whether expert recomputation is enabled.
+
+    Returns:
+        A :class:`SystemSpec` with the policy and iteration simulator wired up.
+    """
+    name = name.lower()
+    if name not in available_systems():
+        raise ValueError(
+            f"unknown system {name!r}; available: {available_systems()}")
+
+    num_experts = config.num_experts
+    capacity = config.expert_capacity
+    expert_param_bytes = float(config.expert_param_bytes)
+    ep_size = max(1, num_experts // capacity)
+    cost_model = MoECostModel.from_model_config(
+        config, topology, activation_checkpointing=activation_checkpointing)
+    schedule = CommScheduleConfig.all_enabled()
+    paradigm = "fsep"
+    tp_size = 1
+
+    if name == "megatron":
+        paradigm = "megatron"
+        tp_size = choose_megatron_tp(config, topology, tokens_per_device)
+        policy: LoadBalancingPolicy = StaticEPPolicy(
+            topology, num_experts, capacity, expert_param_bytes)
+    elif name == "fsdp_ep":
+        paradigm = "fsdp_ep"
+        policy = StaticEPPolicy(topology, num_experts, capacity, expert_param_bytes)
+    elif name == "fastermoe":
+        paradigm = "fsdp_ep"
+        policy = FasterMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
+    elif name == "smartmoe":
+        paradigm = "fsdp_ep"
+        policy = SmartMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
+    elif name == "prophet":
+        paradigm = "fsdp_ep"
+        policy = ProphetPolicy(topology, num_experts, capacity, expert_param_bytes)
+    elif name == "flexmoe":
+        policy = FlexMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
+    elif name == "oracle":
+        policy = OracleBalancedPolicy(topology, num_experts, capacity,
+                                      expert_param_bytes, cost_model)
+    elif name == "laer_no_comm_opt":
+        schedule = CommScheduleConfig.none_enabled()
+        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
+                            cost_model, tuner_config=_laer_tuner_config("full"))
+    elif name == "laer_pq_only":
+        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
+                            cost_model, tuner_config=_laer_tuner_config("pq_only"))
+    elif name == "laer_even_only":
+        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
+                            cost_model, tuner_config=_laer_tuner_config("even_only"))
+    else:  # "laer"
+        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
+                            cost_model, tuner_config=_laer_tuner_config("full"))
+
+    simulator = IterationSimulator(
+        config=config,
+        topology=topology,
+        tokens_per_device=tokens_per_device,
+        paradigm=paradigm,
+        schedule=schedule,
+        tp_size=tp_size,
+        ep_size=ep_size,
+        activation_checkpointing=activation_checkpointing,
+    )
+    return SystemSpec(name=name, paradigm=paradigm, policy=policy,
+                      simulator=simulator, tp_size=tp_size, ep_size=ep_size)

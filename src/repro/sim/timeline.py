@@ -1,0 +1,114 @@
+"""Explicit Fig. 5 timelines built on the multi-stream event scheduler.
+
+The analytic schedule model in :mod:`repro.core.comm_schedule` answers "how
+much communication stays exposed"; this module builds the *explicit* event
+timeline (which operation runs on which stream, when) for one transformer
+layer's forward pass, mirroring the stream layout of Fig. 5:
+
+* ``S1`` -- computation (attention, gate, expert MLP);
+* ``S2`` -- parameter prefetching (FSEP unshard of the next layer's experts);
+* ``S3`` -- the token dispatch / combine All-to-All;
+* ``S4`` -- gradient synchronisation (backward only).
+
+It is used by the tests to cross-check the analytic model and by the examples
+to print human-readable timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.comm_schedule import CommScheduleConfig, LayerTimings
+from repro.sim.streams import StreamOp, StreamScheduler, StreamTimeline
+
+#: Stream names matching Fig. 5.
+COMPUTE_STREAM = "S1-compute"
+PREFETCH_STREAM = "S2-prefetch"
+A2A_STREAM = "S3-token-a2a"
+GRAD_STREAM = "S4-grad-sync"
+
+
+@dataclass
+class ForwardTimeline:
+    """The scheduled forward pass of one layer plus derived metrics."""
+
+    timeline: StreamTimeline
+    config: CommScheduleConfig
+    timings: LayerTimings
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock duration of the layer's forward pass."""
+        return self.timeline.makespan
+
+    @property
+    def exposed_prefetch(self) -> float:
+        """Prefetch time not hidden behind computation."""
+        compute_end = self.timeline.end_of("expert_compute")
+        prefetch_end = self.timeline.end_of("expert_prefetch")
+        return max(0.0, prefetch_end - max(compute_end,
+                                           self.timeline.end_of("combine_a2a")))
+
+    def rows(self) -> List[dict]:
+        """Timeline rows for printing."""
+        return self.timeline.as_rows()
+
+
+def build_forward_timeline(timings: LayerTimings,
+                           config: CommScheduleConfig) -> ForwardTimeline:
+    """Schedule one layer's forward pass as explicit stream operations.
+
+    The operation graph follows Fig. 5: attention computes first, the token
+    dispatch All-to-All follows the gate, expert computation follows the
+    dispatch, and the combine All-to-All follows the experts.  The prefetch of
+    the next layer's expert parameters is placed according to the configured
+    optimisations: after attention (default), or after the dispatch All-to-All
+    (post-A2A launch) and overlapping the expert computation (relaxed
+    prefetching).
+    """
+    contention = 0.0 if config.schedule_after_a2a else config.contention_slowdown
+    scheduler = StreamScheduler()
+    scheduler.submit(StreamOp("attention", COMPUTE_STREAM,
+                              timings.attention_compute))
+    scheduler.submit(StreamOp("dispatch_a2a", A2A_STREAM,
+                              timings.token_a2a * (1.0 + contention),
+                              depends_on=["attention"]))
+
+    prefetch_duration = ((timings.expert_prefetch + timings.attention_prefetch)
+                         * (1.0 + contention))
+    if config.relaxed_prefetch and config.schedule_after_a2a:
+        prefetch_deps = ["dispatch_a2a"]
+    elif config.relaxed_prefetch:
+        prefetch_deps = ["attention"]
+    else:
+        # Default FSDP behaviour: prefetch as soon as the layer starts, i.e.
+        # constrained to overlap only the attention computation.
+        prefetch_deps = []
+    scheduler.submit(StreamOp("expert_prefetch", PREFETCH_STREAM,
+                              prefetch_duration, depends_on=prefetch_deps))
+
+    expert_deps = ["dispatch_a2a"]
+    if not config.relaxed_prefetch:
+        # Without the relaxed constraint the executor waits for the prefetch
+        # before the expert computation of the *next* unit may proceed; we
+        # conservatively serialise it with this layer's expert compute.
+        expert_deps.append("expert_prefetch")
+    scheduler.submit(StreamOp("expert_compute", COMPUTE_STREAM,
+                              timings.expert_compute, depends_on=expert_deps))
+    scheduler.submit(StreamOp("combine_a2a", A2A_STREAM, timings.token_a2a,
+                              depends_on=["expert_compute"]))
+    return ForwardTimeline(timeline=scheduler.run(), config=config,
+                           timings=timings)
+
+
+def format_timeline(timeline: ForwardTimeline, unit: str = "ms") -> str:
+    """Render a timeline as an aligned text table (times in ``unit``)."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+    lines = [f"{'operation':<18} {'stream':<14} {'start':>10} {'end':>10}  ({unit})"]
+    for row in timeline.rows():
+        lines.append(f"{row['name']:<18} {row['stream']:<14} "
+                     f"{row['start'] * scale:>10.3f} {row['end'] * scale:>10.3f}")
+    lines.append(f"{'total':<18} {'':<14} {'':>10} "
+                 f"{timeline.duration * scale:>10.3f}")
+    return "\n".join(lines)

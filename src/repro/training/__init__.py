@@ -1,0 +1,25 @@
+"""End-to-end numpy training used by the convergence experiments.
+
+The trainer runs the small numpy MoE transformer on synthetic data, records
+loss curves, routing statistics and (optionally) executes every MoE layer
+through the FSEP executor so the convergence study can verify that FSEP's
+distributed computation matches the single-device reference.
+"""
+
+from repro.training.trainer import Trainer, TrainerConfig, TrainingResult
+from repro.training.convergence import (
+    ConvergenceStudy,
+    ConvergenceCurve,
+    relative_loss_error,
+    steps_to_reach_loss,
+)
+
+__all__ = [
+    "Trainer",
+    "TrainerConfig",
+    "TrainingResult",
+    "ConvergenceStudy",
+    "ConvergenceCurve",
+    "relative_loss_error",
+    "steps_to_reach_loss",
+]

@@ -1,0 +1,65 @@
+"""Workloads: model configurations, routing traces, and synthetic datasets.
+
+This subpackage provides the inputs the experiments consume:
+
+* The Table 2 model configuration registry (Mixtral-8x7B, Mixtral-8x22B,
+  Qwen-8x7B in their e8k2 and e16k4 variants).
+* Synthetic routing-trace generators that reproduce the skewed, drifting
+  expert-load distributions the paper observes during Mixtral training
+  (Fig. 1a), plus utilities to replay traces captured from real (small) numpy
+  training runs.
+* Synthetic token datasets standing in for WikiText-103 and C4.
+"""
+
+from repro.workloads.model_configs import (
+    MoEModelConfig,
+    MODEL_REGISTRY,
+    get_model_config,
+    list_model_configs,
+    MIXTRAL_8X7B_E8K2,
+    MIXTRAL_8X7B_E16K4,
+    MIXTRAL_8X22B_E8K2,
+    MIXTRAL_8X22B_E16K4,
+    QWEN_8X7B_E8K2,
+    QWEN_8X7B_E16K4,
+)
+from repro.workloads.routing_traces import (
+    RoutingTrace,
+    RoutingTraceConfig,
+    SyntheticRoutingTraceGenerator,
+    balanced_routing,
+    routing_from_assignments,
+)
+from repro.workloads.trace_io import save_trace, load_trace, summarize_trace, TraceSummary
+from repro.workloads.datasets import (
+    SyntheticTextDataset,
+    DatasetConfig,
+    WIKITEXT_LIKE,
+    C4_LIKE,
+)
+
+__all__ = [
+    "MoEModelConfig",
+    "MODEL_REGISTRY",
+    "get_model_config",
+    "list_model_configs",
+    "MIXTRAL_8X7B_E8K2",
+    "MIXTRAL_8X7B_E16K4",
+    "MIXTRAL_8X22B_E8K2",
+    "MIXTRAL_8X22B_E16K4",
+    "QWEN_8X7B_E8K2",
+    "QWEN_8X7B_E16K4",
+    "RoutingTrace",
+    "RoutingTraceConfig",
+    "SyntheticRoutingTraceGenerator",
+    "balanced_routing",
+    "routing_from_assignments",
+    "save_trace",
+    "load_trace",
+    "summarize_trace",
+    "TraceSummary",
+    "SyntheticTextDataset",
+    "DatasetConfig",
+    "WIKITEXT_LIKE",
+    "C4_LIKE",
+]

@@ -1,0 +1,157 @@
+"""Synthetic token datasets standing in for WikiText-103 and C4.
+
+The convergence experiments (Fig. 2 and Fig. 9) only need a consistent
+language-modelling objective, not the actual corpora (which we cannot download
+in this offline environment).  We generate token streams from a small Markov
+chain over a Zipf-distributed vocabulary: the resulting streams have realistic
+unigram statistics (heavy-tailed token frequencies) and enough local structure
+for a small MoE language model to make measurable progress, which is what the
+auxiliary-loss trade-off study requires.
+
+``WIKITEXT_LIKE`` and ``C4_LIKE`` differ in vocabulary breadth and transition
+entropy, mirroring that C4 is noisier and broader than WikiText.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Parameters of a synthetic token stream.
+
+    Attributes:
+        name: Dataset name used in reports (``"wikitext"`` / ``"c4"``).
+        vocab_size: Vocabulary size of the stream.
+        zipf_exponent: Exponent of the Zipfian unigram distribution.
+        transition_temperature: Softmax temperature of the Markov transition
+            matrix; higher values produce noisier, higher-entropy text.
+        num_states: Number of latent Markov states ("topics").
+        seed: Base PRNG seed for reproducible streams.
+    """
+
+    name: str
+    vocab_size: int = 512
+    zipf_exponent: float = 1.1
+    transition_temperature: float = 1.0
+    num_states: int = 16
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 8:
+            raise ValueError("vocab_size must be at least 8")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be positive")
+        if self.transition_temperature <= 0:
+            raise ValueError("transition_temperature must be positive")
+        if self.num_states <= 0:
+            raise ValueError("num_states must be positive")
+
+
+WIKITEXT_LIKE = DatasetConfig(name="wikitext", vocab_size=512,
+                              zipf_exponent=1.15, transition_temperature=0.8,
+                              num_states=16, seed=1234)
+C4_LIKE = DatasetConfig(name="c4", vocab_size=768, zipf_exponent=1.05,
+                        transition_temperature=1.2, num_states=24, seed=4321)
+
+
+class SyntheticTextDataset:
+    """Generates batches of token ids and next-token targets.
+
+    The generator is a hidden-state Markov model: a latent "topic" state walks
+    slowly over time; each state has its own token emission distribution built
+    by perturbing a shared Zipfian base distribution.  This produces text-like
+    streams where token identity is predictable from recent context, so a
+    language model's loss decreases meaningfully during training.
+    """
+
+    def __init__(self, config: DatasetConfig):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._base = self._zipf_distribution(config.vocab_size, config.zipf_exponent)
+        self._emissions = self._build_emissions()
+        self._transitions = self._build_transitions()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zipf_distribution(vocab_size: int, exponent: float) -> np.ndarray:
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        return weights / weights.sum()
+
+    def _build_emissions(self) -> np.ndarray:
+        cfg = self.config
+        emissions = np.zeros((cfg.num_states, cfg.vocab_size))
+        for state in range(cfg.num_states):
+            noise = self._rng.lognormal(0.0, 1.0, size=cfg.vocab_size)
+            perm = self._rng.permutation(cfg.vocab_size)
+            probs = self._base[perm] * noise
+            emissions[state] = probs / probs.sum()
+        return emissions
+
+    def _build_transitions(self) -> np.ndarray:
+        cfg = self.config
+        logits = self._rng.normal(0.0, 1.0, size=(cfg.num_states, cfg.num_states))
+        np.fill_diagonal(logits, logits.diagonal() + 2.0)
+        logits = logits / cfg.transition_temperature
+        logits = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample_sequence(self, length: int,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+        """Sample a single token sequence of ``length + 1`` tokens."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        rng = rng or self._rng
+        cfg = self.config
+        state = int(rng.integers(cfg.num_states))
+        tokens = np.empty(length + 1, dtype=np.int64)
+        for t in range(length + 1):
+            tokens[t] = rng.choice(cfg.vocab_size, p=self._emissions[state])
+            state = int(rng.choice(cfg.num_states, p=self._transitions[state]))
+        return tokens
+
+    def batch(self, batch_size: int, seq_length: int,
+              seed: int | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample a batch of ``(inputs, targets)`` arrays.
+
+        Returns:
+            ``inputs``: ``(batch_size, seq_length)`` token ids.
+            ``targets``: ``(batch_size, seq_length)`` next-token ids.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        rng = np.random.default_rng(seed) if seed is not None else self._rng
+        inputs = np.empty((batch_size, seq_length), dtype=np.int64)
+        targets = np.empty((batch_size, seq_length), dtype=np.int64)
+        for b in range(batch_size):
+            seq = self.sample_sequence(seq_length, rng)
+            inputs[b] = seq[:-1]
+            targets[b] = seq[1:]
+        return inputs, targets
+
+    def batches(self, num_batches: int, batch_size: int,
+                seq_length: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``num_batches`` consecutive batches."""
+        for _ in range(num_batches):
+            yield self.batch(batch_size, seq_length)
+
+
+def get_dataset(name: str) -> SyntheticTextDataset:
+    """Return the synthetic stand-in for a named dataset (wikitext / c4)."""
+    lowered = name.lower()
+    if lowered in ("wikitext", "wikitext-103"):
+        return SyntheticTextDataset(WIKITEXT_LIKE)
+    if lowered == "c4":
+        return SyntheticTextDataset(C4_LIKE)
+    raise KeyError(f"unknown dataset {name!r}; expected 'wikitext' or 'c4'")

@@ -1,0 +1,300 @@
+"""Routing traces: the token-to-expert assignment matrices the planner consumes.
+
+A *routing trace* records, for every training iteration and every MoE layer,
+the matrix ``R[i, j]`` -- the number of tokens held by device ``i`` that the
+gating network routed to expert ``j``.  The planner, the baselines and the
+iteration simulator all consume these matrices, so anything that produces
+realistic ``R`` exercises exactly the code path the paper's system exercises.
+
+The paper collects traces from real Mixtral-8x7B training (Fig. 1a shows the
+resulting skew and drift).  We do not have those proprietary traces, so this
+module provides:
+
+* :class:`SyntheticRoutingTraceGenerator` -- draws expert popularity from a
+  Dirichlet distribution, lets it drift over iterations through a random walk
+  in logit space, and occasionally reshuffles the hot experts ("hotspot
+  churn"), reproducing the qualitative behaviour of Fig. 1a.
+* :func:`routing_from_assignments` -- builds ``R`` from explicit per-token
+  expert assignments, used to extract traces from the numpy training runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoutingTraceConfig:
+    """Parameters of the synthetic routing-trace generator.
+
+    Attributes:
+        num_devices: Number of devices ``N`` (each holds a data shard).
+        num_experts: Number of experts ``E`` per MoE layer.
+        num_layers: Number of MoE layers.
+        tokens_per_device: Tokens per device per micro-batch ``S``.
+        top_k: Experts selected per token ``K`` (total assignments are
+            ``tokens_per_device * top_k`` per device).
+        skew: Dirichlet concentration controlling imbalance; smaller values
+            produce more skewed expert popularity (0.3-0.6 matches Fig. 1a).
+        drift: Standard deviation of the per-iteration random walk applied to
+            the popularity logits (temporal drift of hot experts).
+        churn_prob: Probability per iteration that the hot-expert ranking is
+            reshuffled (abrupt hotspot changes).
+        device_noise: Relative multiplicative noise applied per device, so
+            different data shards see slightly different routing.
+        seed: PRNG seed.
+    """
+
+    num_devices: int
+    num_experts: int
+    num_layers: int = 1
+    tokens_per_device: int = 16384
+    top_k: int = 2
+    skew: float = 0.5
+    drift: float = 0.08
+    churn_prob: float = 0.02
+    device_noise: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0 or self.num_experts <= 0 or self.num_layers <= 0:
+            raise ValueError("num_devices, num_experts and num_layers must be positive")
+        if self.tokens_per_device <= 0:
+            raise ValueError("tokens_per_device must be positive")
+        if not 1 <= self.top_k <= self.num_experts:
+            raise ValueError("top_k must be in [1, num_experts]")
+        if self.skew <= 0:
+            raise ValueError("skew must be positive")
+        if self.drift < 0 or self.device_noise < 0:
+            raise ValueError("drift and device_noise must be non-negative")
+        if not 0.0 <= self.churn_prob <= 1.0:
+            raise ValueError("churn_prob must be a probability")
+
+
+@dataclass
+class RoutingTrace:
+    """A recorded routing trace.
+
+    Attributes:
+        routing: Array of shape ``(iterations, num_layers, N, E)`` holding the
+            token counts ``R`` for every iteration and layer.
+        top_k: Experts per token used when the trace was produced.
+        tokens_per_device: Tokens per device per micro-batch.
+    """
+
+    routing: np.ndarray
+    top_k: int
+    tokens_per_device: int
+
+    def __post_init__(self) -> None:
+        self.routing = np.asarray(self.routing)
+        if self.routing.ndim != 4:
+            raise ValueError("routing must have shape (iters, layers, N, E)")
+        if np.any(self.routing < 0):
+            raise ValueError("routing counts must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        return int(self.routing.shape[0])
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.routing.shape[1])
+
+    @property
+    def num_devices(self) -> int:
+        return int(self.routing.shape[2])
+
+    @property
+    def num_experts(self) -> int:
+        return int(self.routing.shape[3])
+
+    def iteration(self, it: int) -> np.ndarray:
+        """Return the ``(num_layers, N, E)`` routing of iteration ``it``."""
+        return self.routing[it]
+
+    def layer(self, it: int, layer: int) -> np.ndarray:
+        """Return the ``(N, E)`` routing matrix of one layer of one iteration."""
+        return self.routing[it, layer]
+
+    def iter_layers(self) -> Iterator[np.ndarray]:
+        """Yield every per-layer ``(N, E)`` routing matrix in temporal order."""
+        for it in range(self.num_iterations):
+            for layer in range(self.num_layers):
+                yield self.routing[it, layer]
+
+    # ------------------------------------------------------------------
+    def expert_loads(self, it: int, layer: int) -> np.ndarray:
+        """Total tokens routed to each expert in one layer of one iteration."""
+        return self.routing[it, layer].sum(axis=0)
+
+    def imbalance(self, it: int, layer: int) -> float:
+        """Expert-load imbalance: max expert load divided by the mean load."""
+        loads = self.expert_loads(it, layer).astype(np.float64)
+        mean = loads.mean()
+        if mean == 0:
+            return 1.0
+        return float(loads.max() / mean)
+
+    def mean_imbalance(self) -> float:
+        """Average imbalance across all iterations and layers."""
+        vals = [self.imbalance(it, layer)
+                for it in range(self.num_iterations)
+                for layer in range(self.num_layers)]
+        return float(np.mean(vals))
+
+    def slice_iterations(self, start: int, stop: int) -> "RoutingTrace":
+        """Return a trace containing only iterations ``start..stop-1``."""
+        return RoutingTrace(routing=self.routing[start:stop].copy(),
+                            top_k=self.top_k,
+                            tokens_per_device=self.tokens_per_device)
+
+    def scaled(self, factor: int) -> "RoutingTrace":
+        """Scale every token count by an integer factor.
+
+        Traces extracted from small numpy training runs carry realistic routing
+        *distributions* but tiny absolute token counts; scaling them up lets
+        the cluster simulator replay them at production batch sizes while
+        preserving the imbalance structure.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be a positive integer")
+        return RoutingTrace(routing=self.routing * int(factor),
+                            top_k=self.top_k,
+                            tokens_per_device=self.tokens_per_device * int(factor))
+
+    def remap_devices(self, num_devices: int) -> "RoutingTrace":
+        """Re-partition the trace's tokens across a different device count.
+
+        Used by the scalability study (Table 4): the same global routing
+        distribution is replayed on clusters of different sizes by splitting
+        each expert's global token count evenly (with remainders) across the
+        new device set.
+        """
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        iters, layers, _, experts = self.routing.shape
+        out = np.zeros((iters, layers, num_devices, experts), dtype=np.int64)
+        for it in range(iters):
+            for layer in range(layers):
+                totals = self.routing[it, layer].sum(axis=0)
+                base = totals // num_devices
+                rem = totals % num_devices
+                out[it, layer] = base[None, :]
+                for j in range(experts):
+                    out[it, layer, :int(rem[j]), j] += 1
+        return RoutingTrace(routing=out, top_k=self.top_k,
+                            tokens_per_device=int(out[0, 0].sum(axis=1).max()))
+
+
+@dataclass
+class SyntheticRoutingTraceGenerator:
+    """Generates synthetic skewed, drifting routing traces.
+
+    The generator maintains per-layer popularity logits.  Every iteration the
+    logits take a Gaussian random-walk step (drift); with probability
+    ``churn_prob`` the logits are re-drawn entirely (hotspot churn).  Each
+    device's routing is a multinomial draw around the shared popularity with a
+    small per-device perturbation, so different data shards disagree slightly,
+    as real data-parallel shards do.
+    """
+
+    config: RoutingTraceConfig
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _logits: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.config.seed)
+        self._logits = self._draw_logits()
+
+    # ------------------------------------------------------------------
+    def _draw_logits(self) -> np.ndarray:
+        cfg = self.config
+        probs = self._rng.dirichlet([cfg.skew] * cfg.num_experts, size=cfg.num_layers)
+        return np.log(np.maximum(probs, 1e-9))
+
+    def _step_logits(self) -> None:
+        cfg = self.config
+        if self._rng.random() < cfg.churn_prob:
+            self._logits = self._draw_logits()
+            return
+        self._logits = self._logits + self._rng.normal(
+            0.0, cfg.drift, size=self._logits.shape)
+
+    def _layer_probs(self, layer: int) -> np.ndarray:
+        logits = self._logits[layer]
+        logits = logits - logits.max()
+        probs = np.exp(logits)
+        return probs / probs.sum()
+
+    # ------------------------------------------------------------------
+    def next_iteration(self) -> np.ndarray:
+        """Generate the routing ``(num_layers, N, E)`` of the next iteration."""
+        cfg = self.config
+        assignments = cfg.tokens_per_device * cfg.top_k
+        out = np.zeros((cfg.num_layers, cfg.num_devices, cfg.num_experts), dtype=np.int64)
+        for layer in range(cfg.num_layers):
+            probs = self._layer_probs(layer)
+            for dev in range(cfg.num_devices):
+                if cfg.device_noise > 0:
+                    noisy = probs * self._rng.lognormal(
+                        0.0, cfg.device_noise, size=cfg.num_experts)
+                    noisy = noisy / noisy.sum()
+                else:
+                    noisy = probs
+                out[layer, dev] = self._rng.multinomial(assignments, noisy)
+        self._step_logits()
+        return out
+
+    def generate(self, num_iterations: int) -> RoutingTrace:
+        """Generate a trace of ``num_iterations`` iterations."""
+        if num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        frames = [self.next_iteration() for _ in range(num_iterations)]
+        return RoutingTrace(routing=np.stack(frames, axis=0),
+                            top_k=self.config.top_k,
+                            tokens_per_device=self.config.tokens_per_device)
+
+
+def balanced_routing(num_devices: int, num_experts: int,
+                     tokens_per_device: int, top_k: int,
+                     num_layers: int = 1, num_iterations: int = 1) -> RoutingTrace:
+    """Build a perfectly balanced routing trace (every expert equally loaded).
+
+    Used as the "balanced" reference in the Fig. 1(b) motivation experiment and
+    as the oracle lower bound in several tests.
+    """
+    assignments = tokens_per_device * top_k
+    base = assignments // num_experts
+    rem = assignments % num_experts
+    row = np.full(num_experts, base, dtype=np.int64)
+    row[:rem] += 1
+    routing = np.tile(row, (num_iterations, num_layers, num_devices, 1))
+    return RoutingTrace(routing=routing, top_k=top_k,
+                        tokens_per_device=tokens_per_device)
+
+
+def routing_from_assignments(assignments: Sequence[np.ndarray],
+                             num_experts: int) -> np.ndarray:
+    """Build the ``(N, E)`` routing matrix from per-device expert assignments.
+
+    Args:
+        assignments: One integer array per device, holding the expert index
+            chosen for each (token, k) slot on that device.
+        num_experts: Number of experts ``E``.
+
+    Returns:
+        ``(N, E)`` int64 matrix of token counts.
+    """
+    num_devices = len(assignments)
+    out = np.zeros((num_devices, num_experts), dtype=np.int64)
+    for dev, assignment in enumerate(assignments):
+        flat = np.asarray(assignment).reshape(-1)
+        if flat.size and (flat.min() < 0 or flat.max() >= num_experts):
+            raise ValueError("expert assignment out of range")
+        out[dev] = np.bincount(flat, minlength=num_experts)
+    return out

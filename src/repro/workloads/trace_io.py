@@ -1,0 +1,103 @@
+"""Saving, loading and summarising routing traces.
+
+Routing traces are the interface between the training side (real or synthetic
+gating decisions) and the planning/simulation side.  Persisting them lets the
+benchmarks replay the exact same workload across systems and lets users plug
+in traces captured from their own training runs (the paper's Appendix D uses
+recorded Mixtral traces the same way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.workloads.routing_traces import RoutingTrace
+
+
+def save_trace(trace: RoutingTrace, path: Union[str, Path]) -> Path:
+    """Save a routing trace to a compressed ``.npz`` file.
+
+    Returns the path written (with the ``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        routing=trace.routing,
+        top_k=np.asarray(trace.top_k),
+        tokens_per_device=np.asarray(trace.tokens_per_device),
+    )
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> RoutingTrace:
+    """Load a routing trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no trace file at {path}")
+    with np.load(path) as data:
+        missing = {"routing", "top_k", "tokens_per_device"} - set(data.files)
+        if missing:
+            raise ValueError(f"trace file {path} is missing arrays: {sorted(missing)}")
+        return RoutingTrace(
+            routing=data["routing"],
+            top_k=int(data["top_k"]),
+            tokens_per_device=int(data["tokens_per_device"]),
+        )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate statistics of a routing trace."""
+
+    num_iterations: int
+    num_layers: int
+    num_devices: int
+    num_experts: int
+    tokens_per_device: int
+    mean_imbalance: float
+    max_imbalance: float
+    hot_expert_changes: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "iterations": self.num_iterations,
+            "layers": self.num_layers,
+            "devices": self.num_devices,
+            "experts": self.num_experts,
+            "tokens_per_device": self.tokens_per_device,
+            "mean_imbalance": round(self.mean_imbalance, 3),
+            "max_imbalance": round(self.max_imbalance, 3),
+            "hot_expert_changes": self.hot_expert_changes,
+        }
+
+
+def summarize_trace(trace: RoutingTrace) -> TraceSummary:
+    """Compute the summary statistics the motivation figure reports.
+
+    ``hot_expert_changes`` counts, over consecutive iterations of layer 0, how
+    often the identity of the most-loaded expert changes -- a proxy for the
+    dynamism the paper stresses in Fig. 1(a).
+    """
+    imbalances = [trace.imbalance(it, layer)
+                  for it in range(trace.num_iterations)
+                  for layer in range(trace.num_layers)]
+    hottest = [int(np.argmax(trace.expert_loads(it, 0)))
+               for it in range(trace.num_iterations)]
+    changes = sum(1 for a, b in zip(hottest, hottest[1:]) if a != b)
+    return TraceSummary(
+        num_iterations=trace.num_iterations,
+        num_layers=trace.num_layers,
+        num_devices=trace.num_devices,
+        num_experts=trace.num_experts,
+        tokens_per_device=trace.tokens_per_device,
+        mean_imbalance=float(np.mean(imbalances)),
+        max_imbalance=float(np.max(imbalances)),
+        hot_expert_changes=changes,
+    )

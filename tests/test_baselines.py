@@ -1,0 +1,247 @@
+"""Tests for the load-balancing policies of the compared systems."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FasterMoEPolicy,
+    FlexMoEPolicy,
+    LAERPolicy,
+    OracleBalancedPolicy,
+    ProphetPolicy,
+    SmartMoEPolicy,
+    StaticEPPolicy,
+)
+from repro.baselines.static_ep import ep_group_route
+from repro.core.cost_model import MoECostModel
+from repro.workloads.model_configs import get_model_config
+from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+
+EXPERT_BYTES = float(get_model_config("mixtral-8x7b-e8k2").expert_param_bytes)
+
+
+def make_trace(iterations=6, seed=0, devices=8, experts=8):
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=devices, num_experts=experts, num_layers=2,
+        tokens_per_device=2048, top_k=2, skew=0.35, seed=seed))
+    return generator.generate(iterations)
+
+
+def check_decision(decision, routing):
+    """Every policy decision must satisfy the planner constraints."""
+    decision.layout.validate()
+    assert np.array_equal(decision.routing_plan.sum(axis=2), routing)
+    hosted = decision.layout.assignment.T > 0
+    received = decision.routing_plan.sum(axis=0)
+    assert np.all(received[~hosted] == 0)
+    assert decision.relayout_bytes_exposed >= 0
+    assert decision.grad_sync_extra_bytes >= 0
+
+
+def max_relative_tokens(decision):
+    tokens = decision.routing_plan.sum(axis=(0, 1))
+    return tokens.max() / (decision.routing_plan.sum() / tokens.shape[0])
+
+
+class TestEPGroupRoute:
+    def test_routes_to_owner_in_group(self):
+        routing = np.full((8, 8), 10, dtype=np.int64)
+        plan = ep_group_route(routing, capacity=2)
+        # Sender 0 belongs to the first row of P_ep=4 devices; expert 5 owner
+        # is device 2 of that row.
+        assert plan[0, 5, 2] == 10
+        # Sender 5 belongs to the second row (devices 4..7).
+        assert plan[5, 5, 6] == 10
+
+    def test_conservation(self):
+        rng = np.random.default_rng(0)
+        routing = rng.integers(0, 50, size=(8, 8)).astype(np.int64)
+        plan = ep_group_route(routing, capacity=2)
+        assert np.array_equal(plan.sum(axis=2), routing)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ep_group_route(np.zeros((8, 7), dtype=np.int64), capacity=2)
+        with pytest.raises(ValueError):
+            ep_group_route(np.zeros((6, 8), dtype=np.int64), capacity=2)
+
+
+class TestStaticEP:
+    def test_decisions_valid_and_static(self, small_topology):
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        trace = make_trace()
+        first = policy.decide_iteration(trace.iteration(0))
+        second = policy.decide_iteration(trace.iteration(1))
+        for layer in range(2):
+            check_decision(first[layer], trace.layer(0, layer))
+            assert first[layer].layout == second[layer].layout
+            assert first[layer].relayout_bytes_exposed == 0
+
+    def test_suffers_from_imbalance(self, small_topology):
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        trace = make_trace(seed=5)
+        decisions = policy.decide_iteration(trace.iteration(0))
+        assert max_relative_tokens(decisions[0]) > 1.3
+
+
+class TestFasterMoE:
+    def test_shadows_hot_experts_after_first_iteration(self, small_topology):
+        policy = FasterMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                                 max_shadow_experts=2)
+        trace = make_trace(seed=7)
+        policy.decide_iteration(trace.iteration(0))
+        decisions = policy.decide_iteration(trace.iteration(1))
+        shadowed = decisions[0].metadata["shadow_experts"]
+        assert len(shadowed) <= 2
+        if shadowed:
+            assert decisions[0].relayout_bytes_exposed > 0
+            assert decisions[0].grad_sync_extra_bytes > 0
+        for layer in range(2):
+            check_decision(decisions[layer], trace.layer(1, layer))
+
+    def test_budget_respected(self, small_topology):
+        policy = FasterMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                                 max_shadow_experts=1)
+        trace = make_trace(seed=8)
+        policy.decide_iteration(trace.iteration(0))
+        decisions = policy.decide_iteration(trace.iteration(1))
+        assert len(decisions[0].metadata["shadow_experts"]) <= 1
+
+    def test_validation(self, small_topology):
+        with pytest.raises(ValueError):
+            FasterMoEPolicy(small_topology, 8, 2, EXPERT_BYTES, hot_threshold=0.5)
+
+
+class TestSmartMoE:
+    def test_relocates_only_at_interval(self, small_topology):
+        policy = SmartMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                                relocation_interval=3)
+        trace = make_trace(iterations=8, seed=9)
+        migrations = []
+        for it in range(7):
+            decisions = policy.decide_iteration(trace.iteration(it))
+            for layer, decision in enumerate(decisions):
+                check_decision(decision, trace.layer(it, layer))
+            migrations.append(decisions[0].relayout_bytes_exposed)
+        # Migration cost can only appear on multiples of the interval.
+        for it, cost in enumerate(migrations):
+            if it % 3 != 0 or it == 0:
+                assert cost == 0.0
+
+    def test_migration_cost_uses_state_multiplier(self, small_topology):
+        policy = SmartMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                                relocation_interval=1, state_multiplier=6.0)
+        trace = make_trace(iterations=4, seed=10)
+        policy.decide_iteration(trace.iteration(0))
+        decisions = policy.decide_iteration(trace.iteration(1))
+        if decisions[0].metadata["relocated"]:
+            assert decisions[0].relayout_bytes_exposed % (EXPERT_BYTES * 6.0) == 0
+
+
+class TestProphet:
+    def test_decisions_valid(self, small_topology):
+        policy = ProphetPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                               adjustment_interval=2)
+        trace = make_trace(iterations=5, seed=11)
+        for it in range(5):
+            decisions = policy.decide_iteration(trace.iteration(it))
+            for layer, decision in enumerate(decisions):
+                check_decision(decision, trace.layer(it, layer))
+
+    def test_replication_budget(self, small_topology):
+        policy = ProphetPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                               adjustment_interval=1, replication_budget=2)
+        trace = make_trace(iterations=3, seed=12)
+        policy.decide_iteration(trace.iteration(0))
+        decisions = policy.decide_iteration(trace.iteration(1))
+        extra = decisions[0].layout.replicas_per_expert().sum() - 8
+        assert extra <= 2
+
+
+class TestFlexMoE:
+    def test_bounded_adjustments(self, small_topology):
+        policy = FlexMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                               max_adjustments_per_iteration=1)
+        trace = make_trace(iterations=5, seed=13)
+        previous_layout = None
+        for it in range(5):
+            decisions = policy.decide_iteration(trace.iteration(it))
+            for layer, decision in enumerate(decisions):
+                check_decision(decision, trace.layer(it, layer))
+            if previous_layout is not None:
+                assert decisions[0].layout.difference(previous_layout) <= 1
+            previous_layout = decisions[0].layout
+
+    def test_adapts_towards_balance(self, small_topology):
+        policy = FlexMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                               max_adjustments_per_iteration=2)
+        trace = make_trace(iterations=10, seed=14)
+        first = policy.decide_iteration(trace.iteration(0))
+        last = None
+        for it in range(1, 10):
+            last = policy.decide_iteration(trace.iteration(it))
+        assert max_relative_tokens(last[0]) < max_relative_tokens(first[0]) + 0.2
+
+    def test_migration_charged_only_when_enabled(self, small_topology):
+        trace = make_trace(iterations=3, seed=15)
+        free = FlexMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                             charge_migration=False)
+        charged = FlexMoEPolicy(small_topology, 8, 2, EXPERT_BYTES,
+                                charge_migration=True)
+        for policy in (free, charged):
+            policy.decide_iteration(trace.iteration(0))
+        free_dec = free.decide_iteration(trace.iteration(1))
+        charged_dec = charged.decide_iteration(trace.iteration(1))
+        assert free_dec[0].relayout_bytes_exposed == 0.0
+        if charged_dec[0].metadata["adjustments"]:
+            assert charged_dec[0].relayout_bytes_exposed > 0.0
+
+
+class TestLAERAndOracle:
+    def make_cost_model(self, topology):
+        return MoECostModel.from_model_config(
+            get_model_config("mixtral-8x7b-e8k2"), topology)
+
+    def test_laer_balances_better_than_static(self, small_topology):
+        cost_model = self.make_cost_model(small_topology)
+        laer = LAERPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        static = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        trace = make_trace(iterations=6, seed=16)
+        laer_last = static_last = None
+        for it in range(6):
+            laer_last = laer.decide_iteration(trace.iteration(it))
+            static_last = static.decide_iteration(trace.iteration(it))
+        assert (max_relative_tokens(laer_last[0])
+                < max_relative_tokens(static_last[0]))
+        assert laer_last[0].relayout_bytes_exposed == 0.0
+
+    def test_laer_decisions_valid(self, small_topology):
+        cost_model = self.make_cost_model(small_topology)
+        policy = LAERPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        trace = make_trace(iterations=3, seed=17)
+        for it in range(3):
+            decisions = policy.decide_iteration(trace.iteration(it))
+            for layer, decision in enumerate(decisions):
+                check_decision(decision, trace.layer(it, layer))
+
+    def test_oracle_at_least_as_balanced_as_laer(self, small_topology):
+        cost_model = self.make_cost_model(small_topology)
+        oracle = OracleBalancedPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        laer = LAERPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        trace = make_trace(iterations=5, seed=18)
+        oracle_vals, laer_vals = [], []
+        for it in range(5):
+            oracle_vals.append(max_relative_tokens(
+                oracle.decide_iteration(trace.iteration(it))[0]))
+            laer_vals.append(max_relative_tokens(
+                laer.decide_iteration(trace.iteration(it))[0]))
+        assert np.mean(oracle_vals) <= np.mean(laer_vals) + 0.05
+
+    def test_reset(self, small_topology):
+        cost_model = self.make_cost_model(small_topology)
+        policy = LAERPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        trace = make_trace(iterations=2, seed=19)
+        policy.decide_iteration(trace.iteration(0))
+        assert policy.iteration == 1
+        policy.reset()
+        assert policy.iteration == 0

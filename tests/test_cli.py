@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--model", "gpt-4"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.model == "mixtral-8x7b-e8k2"
+        assert args.num_nodes == 4
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "mixtral-8x7b-e8k2" in out
+        assert "qwen-8x7b-e16k4" in out
+
+    def test_trace_summary_and_save(self, tmp_path, capsys):
+        output = tmp_path / "trace.npz"
+        code = main(["trace", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "512", "--iterations", "3",
+                     "--output", str(output)])
+        assert code == 0
+        assert output.exists()
+        out = capsys.readouterr().out
+        assert "Routing trace summary" in out
+
+    def test_plan(self, capsys):
+        code = main(["plan", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "1024", "--iterations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Planner vs static EP" in out
+        assert "laer_rel_max_tokens" in out
+
+    def test_compare_small(self, capsys):
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "fsdp_ep", "laer", "--reference", "fsdp_ep"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup_vs_fsdp_ep" in out
+        assert "Time breakdown" in out

@@ -1,0 +1,108 @@
+"""Tests for the Sec. 3.1 communication / memory / overlap analysis."""
+
+import pytest
+
+from repro.cluster.device import A100_SPEC
+from repro.cluster.topology import DEFAULT_INTER_NODE_BANDWIDTH
+from repro.core.comm_analysis import (
+    expert_compute_time,
+    fsdp_allgather_volume,
+    fsep_extra_memory_bytes,
+    fsep_to_fsdp_volume_ratio,
+    fsep_unshard_volume,
+    overlap_is_feasible,
+    overlap_token_threshold,
+    prefetch_bytes_per_device,
+    prefetch_time,
+)
+from repro.workloads.model_configs import get_model_config
+
+
+@pytest.fixture
+def config():
+    return get_model_config("mixtral-8x7b-e8k2")
+
+
+class TestVolumes:
+    def test_fsep_volume_formula(self):
+        # C=2, N=4, Psi=100 -> 2 * 3/4 * 100 = 150.
+        assert fsep_unshard_volume(2, 4, 100.0) == pytest.approx(150.0)
+
+    def test_fsdp_volume_formula(self):
+        # C=2, P_fsdp=4, Psi=100 -> 3/4 * 2 * 100 = 150.
+        assert fsdp_allgather_volume(2, 4, 100.0) == pytest.approx(150.0)
+
+    def test_paper_ratio_example(self):
+        """P_fsep=32, P_fsdp=8 gives a ratio of about 1.1 (Sec. 3.1)."""
+        assert fsep_to_fsdp_volume_ratio(32, 8) == pytest.approx(1.107, abs=0.01)
+
+    def test_ratio_approaches_one_with_scale(self):
+        small = fsep_to_fsdp_volume_ratio(16, 4)
+        large = fsep_to_fsdp_volume_ratio(1024, 256)
+        assert large < small
+        assert large == pytest.approx(1.0, abs=0.01)
+
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            fsep_to_fsdp_volume_ratio(1, 8)
+
+    def test_volume_validation(self):
+        with pytest.raises(ValueError):
+            fsep_unshard_volume(0, 4, 10.0)
+        with pytest.raises(ValueError):
+            fsdp_allgather_volume(2, 0, 10.0)
+
+
+class TestMemory:
+    def test_extra_memory_is_2c_psi(self, config):
+        expected = 2 * config.expert_capacity * config.expert_params_per_layer * 2
+        assert fsep_extra_memory_bytes(config) == pytest.approx(expected)
+
+    def test_extra_memory_small_relative_to_model(self, config):
+        """The paper: the extra memory is negligible relative to the model."""
+        extra = fsep_extra_memory_bytes(config)
+        full_model = config.total_params * 2
+        assert extra / full_model < 0.02
+
+    def test_capacity_override(self, config):
+        assert fsep_extra_memory_bytes(config, capacity=4) == pytest.approx(
+            2 * fsep_extra_memory_bytes(config, capacity=2))
+
+
+class TestOverlap:
+    def test_prefetch_bytes_formula(self, config):
+        expected = 3 * 2 * 4096 * 14336 * 2
+        assert prefetch_bytes_per_device(config) == pytest.approx(expected)
+
+    def test_threshold_close_to_paper_value(self, config):
+        """Sec. 3.1: the overlap condition is satisfied around S >= 17K.
+
+        The 800 Gbps InfiniBand bandwidth is per node and shared by the 8
+        GPUs, so the per-GPU share during a cluster-wide All-to-All is an
+        eighth of it.
+        """
+        per_gpu_bandwidth = DEFAULT_INTER_NODE_BANDWIDTH / 8
+        threshold = overlap_token_threshold(config, A100_SPEC, per_gpu_bandwidth)
+        assert 6_000 < threshold < 30_000
+
+    def test_feasibility_monotone_in_tokens(self, config):
+        bandwidth = DEFAULT_INTER_NODE_BANDWIDTH
+        threshold = overlap_token_threshold(config, A100_SPEC, bandwidth)
+        assert overlap_is_feasible(config, A100_SPEC, bandwidth, threshold * 2)
+        assert not overlap_is_feasible(config, A100_SPEC, bandwidth, threshold / 2)
+
+    def test_faster_network_lowers_threshold(self, config):
+        slow = overlap_token_threshold(config, A100_SPEC, 50e9)
+        fast = overlap_token_threshold(config, A100_SPEC, 300e9)
+        assert fast < slow
+
+    def test_prefetch_and_compute_times_positive(self, config):
+        assert prefetch_time(config, 100e9) > 0
+        assert expert_compute_time(config, 1000, A100_SPEC) > 0
+        assert expert_compute_time(config, 0, A100_SPEC) == 0.0
+
+    def test_validation(self, config):
+        with pytest.raises(ValueError):
+            prefetch_time(config, 0.0)
+        with pytest.raises(ValueError):
+            expert_compute_time(config, -1, A100_SPEC)

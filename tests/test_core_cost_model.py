@@ -1,0 +1,118 @@
+"""Tests for the planner's joint cost model (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import MoECostModel
+from repro.core.layout import static_ep_layout
+from repro.core.lite_routing import lite_route
+from repro.workloads.model_configs import get_model_config, tiny_test_config
+
+
+@pytest.fixture
+def cost_model(small_topology):
+    return MoECostModel.from_model_config(tiny_test_config(), small_topology)
+
+
+def balanced_plan(n=8, e=8, tokens=64):
+    """Every device keeps its tokens locally, evenly over experts."""
+    plan = np.zeros((n, e, n), dtype=np.int64)
+    for device in range(n):
+        plan[device, :, device] = tokens // e
+    return plan
+
+
+class TestCostTerms:
+    def test_local_plan_has_zero_comm(self, cost_model):
+        plan = balanced_plan()
+        assert cost_model.comm_time(plan) == 0.0
+
+    def test_remote_plan_has_positive_comm(self, cost_model):
+        plan = balanced_plan()
+        plan[0, 0, 0] = 0
+        plan[0, 0, 7] = 8
+        assert cost_model.comm_time(plan) > 0.0
+
+    def test_inter_node_costs_more_than_intra(self, cost_model):
+        intra = np.zeros((8, 8, 8), dtype=np.int64)
+        intra[0, 0, 1] = 100
+        inter = np.zeros((8, 8, 8), dtype=np.int64)
+        inter[0, 0, 4] = 100
+        assert cost_model.comm_time(inter) > cost_model.comm_time(intra)
+
+    def test_comp_time_uses_max_device(self, cost_model):
+        plan = balanced_plan()
+        base = cost_model.comp_time(plan)
+        plan[0, 0, 0] += 1000
+        assert cost_model.comp_time(plan) > base
+
+    def test_comp_time_checkpointing_factor(self, small_topology):
+        config = tiny_test_config()
+        plain = MoECostModel.from_model_config(config, small_topology)
+        ckpt = MoECostModel.from_model_config(config, small_topology,
+                                              activation_checkpointing=True)
+        plan = balanced_plan()
+        assert ckpt.comp_time(plan) == pytest.approx(4 / 3 * plain.comp_time(plan))
+
+    def test_tokens_per_device(self, cost_model):
+        plan = balanced_plan(tokens=64)
+        assert np.all(cost_model.tokens_per_device(plan) == 64)
+
+    def test_evaluate_consistency(self, cost_model):
+        plan = balanced_plan()
+        breakdown = cost_model.evaluate(plan)
+        assert breakdown.total == pytest.approx(
+            breakdown.comm_time + breakdown.comp_time)
+        assert breakdown.max_tokens == 64
+
+    def test_plan_validation(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.comm_time(np.zeros((3, 3, 3)))
+        bad = balanced_plan().astype(float)
+        bad[0, 0, 0] = -1
+        with pytest.raises(ValueError):
+            cost_model.comm_time(bad)
+
+
+class TestConstraints:
+    def test_valid_plan_passes(self, small_topology, cost_model):
+        routing = np.random.default_rng(0).integers(
+            0, 50, size=(8, 8)).astype(np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        cost_model.check_constraints(layout, plan, routing)
+
+    def test_conservation_violation_detected(self, small_topology, cost_model):
+        routing = np.full((8, 8), 10, dtype=np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        plan[0, 0, :] = 0
+        with pytest.raises(ValueError, match="conserve"):
+            cost_model.check_constraints(layout, plan, routing)
+
+    def test_placement_violation_detected(self, small_topology, cost_model):
+        routing = np.full((8, 8), 10, dtype=np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        # Send expert 0 tokens to a device that does not host expert 0.
+        bad_device = [d for d in range(8) if layout.assignment[d, 0] == 0][0]
+        plan[0, 0, :] = 0
+        plan[0, 0, bad_device] = 10
+        with pytest.raises(ValueError, match="does not host"):
+            cost_model.check_constraints(layout, plan, routing)
+
+
+class TestConstruction:
+    def test_from_model_config_fields(self, paper_topology):
+        config = get_model_config("mixtral-8x7b-e8k2")
+        model = MoECostModel.from_model_config(config, paper_topology)
+        assert model.comm_bytes_per_token == config.hidden_size * 2
+        assert model.compute_flops_per_token == config.expert_flops_per_token
+
+    def test_validation(self, small_topology):
+        with pytest.raises(ValueError):
+            MoECostModel(small_topology, comm_bytes_per_token=-1,
+                         compute_flops_per_token=1, device_flops=1)
+        with pytest.raises(ValueError):
+            MoECostModel(small_topology, comm_bytes_per_token=1,
+                         compute_flops_per_token=0, device_flops=1)

@@ -1,0 +1,131 @@
+"""Tests for the FSEP executor: distributed MoE == single-device reference."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.executor import FSEPExecutor
+from repro.core.layout import ExpertLayout
+from repro.core.layout_tuner import ExpertLayoutTuner
+from repro.core.cost_model import MoECostModel
+from repro.model.moe_layer import MoELayer
+from repro.workloads.model_configs import tiny_test_config
+
+
+@pytest.fixture
+def moe_layer():
+    return MoELayer(hidden_size=16, intermediate_size=32, num_experts=8,
+                    top_k=2, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def topology():
+    return ClusterTopology(num_nodes=2, devices_per_node=2)
+
+
+@pytest.fixture
+def executor(moe_layer, topology):
+    return FSEPExecutor(moe_layer, topology)
+
+
+def custom_layout(num_devices=4, num_experts=8, capacity=2, seed=0):
+    """A full-capacity layout covering all experts with some replication."""
+    rng = np.random.default_rng(seed)
+    assignment = np.zeros((num_devices, num_experts), dtype=np.int64)
+    # one replica of every expert, round robin
+    for expert in range(num_experts):
+        assignment[expert % num_devices, expert] = 1
+    # fill leftover capacity with random hot replicas
+    for device in range(num_devices):
+        while assignment[device].sum() < capacity:
+            assignment[device, rng.integers(num_experts)] += 1
+    return ExpertLayout(assignment, capacity)
+
+
+class TestForwardEquivalence:
+    def test_matches_reference_forward(self, moe_layer, executor):
+        x = np.random.default_rng(1).normal(size=(2, 8, 16))
+        reference, _ = moe_layer.forward(x)
+        result = executor.forward(x)
+        assert np.allclose(result.output, reference, atol=1e-10)
+
+    def test_matches_reference_with_replicated_layout(self, moe_layer, executor):
+        x = np.random.default_rng(2).normal(size=(2, 8, 16))
+        reference, _ = moe_layer.forward(x)
+        layout = custom_layout(capacity=4, seed=3)
+        result = executor.forward(x, layout)
+        assert np.allclose(result.output, reference, atol=1e-10)
+
+    def test_matches_reference_with_tuned_layout(self, moe_layer, executor,
+                                                 topology):
+        x = np.random.default_rng(3).normal(size=(2, 16, 16))
+        reference, _ = moe_layer.forward(x)
+        # Tune a layout from this batch's routing and re-run.
+        first = executor.forward(x)
+        cost_model = MoECostModel.from_model_config(tiny_test_config(), topology)
+        tuner = ExpertLayoutTuner(topology, cost_model, capacity=4)
+        tuned = tuner.solve(first.routing)
+        result = executor.forward(x, tuned.layout)
+        assert np.allclose(result.output, reference, atol=1e-10)
+
+    def test_routing_matrix_consistent(self, executor):
+        x = np.random.default_rng(4).normal(size=(2, 8, 16))
+        result = executor.forward(x)
+        assert result.routing.sum() == 2 * 8 * 2
+        assert np.array_equal(result.routing_plan.sum(axis=2), result.routing)
+
+    def test_tokens_per_device_matches_plan(self, executor):
+        x = np.random.default_rng(5).normal(size=(2, 8, 16))
+        result = executor.forward(x)
+        assert np.array_equal(result.tokens_per_device,
+                              result.routing_plan.sum(axis=(0, 1)))
+
+    def test_communication_volumes_reported(self, executor):
+        x = np.random.default_rng(6).normal(size=(2, 8, 16))
+        result = executor.forward(x)
+        assert result.unshard_bytes > 0
+        assert result.dispatch_bytes >= 0
+
+    def test_rejects_bad_input(self, executor):
+        with pytest.raises(ValueError):
+            executor.forward(np.zeros((8, 16)))
+
+
+class TestBackwardEquivalence:
+    def test_gradients_match_reference(self, topology):
+        reference_layer = MoELayer(16, 32, 8, 2, rng=np.random.default_rng(7))
+        fsep_layer = MoELayer(16, 32, 8, 2, rng=np.random.default_rng(7))
+        executor = FSEPExecutor(fsep_layer, topology)
+        x = np.random.default_rng(8).normal(size=(2, 8, 16))
+        grad_out = np.random.default_rng(9).normal(size=(2, 8, 16))
+
+        ref_out, ref_cache = reference_layer.forward(x)
+        reference_layer.zero_grad()
+        ref_grad_in = reference_layer.backward(grad_out, ref_cache,
+                                               aux_loss_weight=0.1)
+
+        fsep_layer.zero_grad()
+        result = executor.forward(x, custom_layout(capacity=4, seed=11))
+        fsep_grad_in = executor.backward(grad_out, result, aux_loss_weight=0.1)
+
+        assert np.allclose(fsep_grad_in, ref_grad_in, atol=1e-9)
+        ref_params = dict(reference_layer.named_parameters())
+        for name, param in fsep_layer.named_parameters():
+            assert np.allclose(param.grad, ref_params[name].grad, atol=1e-9), name
+
+    def test_reshard_bytes_recorded(self, moe_layer, executor):
+        x = np.random.default_rng(10).normal(size=(1, 8, 16))
+        result = executor.forward(x)
+        executor.backward(np.ones_like(x), result)
+        assert result.cache["reshard_bytes"] > 0
+
+    def test_refresh_shards_after_update(self, moe_layer, executor):
+        x = np.random.default_rng(11).normal(size=(1, 8, 16))
+        before = executor.forward(x).output
+        # Modify an expert's parameters and refresh the shards.
+        moe_layer.experts[0].gate_proj.weight.value += 0.5
+        executor.refresh_shards()
+        after = executor.forward(x).output
+        reference, _ = moe_layer.forward(x)
+        assert np.allclose(after, reference, atol=1e-10)
+        assert not np.allclose(after, before)

@@ -1,0 +1,111 @@
+"""Tests for the expert layout tuner (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import MoECostModel
+from repro.core.layout import static_ep_layout
+from repro.core.layout_tuner import ExpertLayoutTuner, TunerConfig
+from repro.core.lite_routing import lite_route
+from repro.workloads.model_configs import tiny_test_config
+from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+
+
+@pytest.fixture
+def tuner(small_topology, small_cost_model):
+    return ExpertLayoutTuner(small_topology, small_cost_model, capacity=2)
+
+
+def skewed_routing(num_devices=8, num_experts=8, seed=0):
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=num_devices, num_experts=num_experts, num_layers=1,
+        tokens_per_device=2048, top_k=2, skew=0.3, seed=seed))
+    return generator.generate(1).layer(0, 0)
+
+
+class TestTunerConfig:
+    def test_defaults(self):
+        cfg = TunerConfig()
+        assert cfg.num_candidates == 2
+        assert cfg.use_priority_queue and cfg.use_even
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TunerConfig(num_candidates=0)
+        with pytest.raises(ValueError):
+            TunerConfig(use_priority_queue=False, use_even=False)
+        with pytest.raises(ValueError):
+            TunerConfig(max_perturbation_moves=0)
+
+
+class TestCandidateGeneration:
+    def test_two_analytic_schemes(self, tuner):
+        loads = np.array([100.0, 50, 25, 12, 6, 3, 2, 1])
+        schemes = tuner.candidate_replica_schemes(loads, 8)
+        assert len(schemes) == 2
+        assert all(s.sum() == 16 for s in schemes)
+
+    def test_perturbations_added(self, small_topology, small_cost_model):
+        tuner = ExpertLayoutTuner(small_topology, small_cost_model, capacity=2,
+                                  config=TunerConfig(num_candidates=5))
+        schemes = tuner.candidate_replica_schemes(np.ones(8), 8)
+        assert len(schemes) == 5
+        assert all(s.sum() == 16 and np.all(s >= 1) for s in schemes)
+
+
+class TestSolve:
+    def test_result_is_valid(self, tuner, small_topology, small_cost_model):
+        routing = skewed_routing()
+        result = tuner.solve(routing)
+        result.layout.validate()
+        small_cost_model.check_constraints(result.layout, result.routing_plan,
+                                           routing)
+        assert result.candidates_evaluated == 2
+        assert len(result.candidate_costs) == 2
+        assert result.cost.total == pytest.approx(min(result.candidate_costs))
+
+    def test_beats_static_ep_on_skewed_load(self, tuner, small_topology,
+                                            small_cost_model):
+        """The tuned layout must cost no more than the static EP baseline."""
+        routing = skewed_routing(seed=3)
+        tuned = tuner.solve(routing)
+        static = static_ep_layout(8, 8, 2)
+        static_plan = lite_route(routing, static, small_topology)
+        static_cost = small_cost_model.evaluate(static_plan)
+        assert tuned.cost.total <= static_cost.total + 1e-12
+        assert tuned.cost.max_tokens <= static_cost.max_tokens
+
+    def test_near_ideal_balance_on_skewed_load(self, tuner):
+        routing = skewed_routing(seed=5)
+        result = tuner.solve(routing)
+        ideal = routing.sum() / 8
+        assert result.cost.max_tokens <= 1.35 * ideal
+
+    def test_balanced_load_stays_balanced(self, tuner):
+        routing = np.full((8, 8), 512, dtype=np.int64)
+        result = tuner.solve(routing)
+        ideal = routing.sum() / 8
+        assert result.cost.max_tokens == pytest.approx(ideal, rel=0.05)
+
+    def test_multi_scheme_no_worse_than_single(self, small_topology,
+                                               small_cost_model):
+        """Using both schemes can only improve on either alone (Fig. 12)."""
+        routing = skewed_routing(seed=9)
+        both = ExpertLayoutTuner(small_topology, small_cost_model, 2,
+                                 TunerConfig(num_candidates=2)).solve(routing)
+        pq_only = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(num_candidates=1, use_even=False)).solve(routing)
+        even_only = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(num_candidates=1, use_priority_queue=False)).solve(routing)
+        assert both.cost.total <= pq_only.cost.total + 1e-12
+        assert both.cost.total <= even_only.cost.total + 1e-12
+
+    def test_shape_validation(self, tuner):
+        with pytest.raises(ValueError):
+            tuner.solve(np.zeros((3, 8), dtype=np.int64))
+
+    def test_capacity_validation(self, small_topology, small_cost_model):
+        with pytest.raises(ValueError):
+            ExpertLayoutTuner(small_topology, small_cost_model, capacity=0)

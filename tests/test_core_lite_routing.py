@@ -1,0 +1,160 @@
+"""Tests for the lite routing token dispatcher (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import ExpertLayout, static_ep_layout
+from repro.core.lite_routing import (
+    ep_route,
+    global_even_route,
+    lite_route,
+    lite_route_single_rank,
+    _split_evenly,
+)
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert _split_evenly(12, np.array([1, 1, 1])).tolist() == [4, 4, 4]
+
+    def test_remainder_goes_to_largest_fraction(self):
+        split = _split_evenly(10, np.array([1, 1, 1]))
+        assert split.sum() == 10
+        assert sorted(split.tolist()) == [3, 3, 4]
+
+    def test_weighted_split(self):
+        split = _split_evenly(9, np.array([2, 1]))
+        assert split.tolist() == [6, 3]
+
+    def test_zero_total(self):
+        assert _split_evenly(0, np.array([1, 2])).tolist() == [0, 0]
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            _split_evenly(5, np.array([0, 0]))
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            _split_evenly(-1, np.array([1]))
+
+
+class TestLiteRouting:
+    def test_conservation(self, small_topology):
+        rng = np.random.default_rng(0)
+        routing = rng.integers(0, 100, size=(8, 8)).astype(np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        assert np.array_equal(plan.sum(axis=2), routing)
+
+    def test_tokens_only_on_hosting_devices(self, small_topology):
+        rng = np.random.default_rng(1)
+        routing = rng.integers(0, 100, size=(8, 8)).astype(np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        received = plan.sum(axis=0)  # (E, N)
+        hosted = layout.assignment.T > 0
+        assert np.all(received[~hosted] == 0)
+
+    def test_prefers_intra_node_replicas(self, small_topology):
+        """With replicas on both nodes, a sender only uses its own node's."""
+        # Expert 0 has replicas on device 0 (node 0) and device 4 (node 1).
+        assignment = np.zeros((8, 4), dtype=np.int64)
+        assignment[0, 0] = 1
+        assignment[4, 0] = 1
+        for expert in range(1, 4):
+            assignment[expert, expert] = 1
+        layout = ExpertLayout(assignment, capacity=2)
+        routing = np.zeros((8, 4), dtype=np.int64)
+        routing[1, 0] = 100   # sender on node 0
+        routing[5, 0] = 100   # sender on node 1
+        plan = lite_route(routing, layout, small_topology)
+        assert plan[1, 0, 0] == 100 and plan[1, 0, 4] == 0
+        assert plan[5, 0, 4] == 100 and plan[5, 0, 0] == 0
+
+    def test_falls_back_to_global_replicas(self, small_topology):
+        """Without an intra-node replica tokens split across global replicas."""
+        assignment = np.zeros((8, 2), dtype=np.int64)
+        assignment[4, 0] = 1
+        assignment[5, 0] = 1
+        assignment[0, 1] = 1
+        layout = ExpertLayout(assignment, capacity=1)
+        routing = np.zeros((8, 2), dtype=np.int64)
+        routing[1, 0] = 10  # sender on node 0, replicas only on node 1
+        plan = lite_route(routing, layout, small_topology)
+        assert plan[1, 0, 4] == 5 and plan[1, 0, 5] == 5
+
+    def test_splits_evenly_among_intra_node_replicas(self, small_topology):
+        assignment = np.zeros((8, 2), dtype=np.int64)
+        assignment[0, 0] = 1
+        assignment[1, 0] = 1
+        assignment[2, 0] = 1
+        assignment[3, 1] = 1
+        layout = ExpertLayout(assignment, capacity=1)
+        routing = np.zeros((8, 2), dtype=np.int64)
+        routing[0, 0] = 90
+        plan = lite_route(routing, layout, small_topology)
+        assert plan[0, 0, 0] == 30 and plan[0, 0, 1] == 30 and plan[0, 0, 2] == 30
+
+    def test_missing_replica_raises(self, small_topology):
+        layout = ExpertLayout(np.zeros((8, 2), dtype=np.int64), capacity=1)
+        routing = np.ones((8, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            lite_route(routing, layout, small_topology)
+
+    def test_shape_validation(self, small_topology):
+        layout = static_ep_layout(8, 8, 2)
+        with pytest.raises(ValueError):
+            lite_route(np.zeros((4, 8), dtype=np.int64), layout, small_topology)
+        with pytest.raises(ValueError):
+            lite_route_single_rank(np.zeros(4, dtype=np.int64), layout,
+                                   small_topology, rank=0)
+
+    def test_negative_counts_rejected(self, small_topology):
+        layout = static_ep_layout(8, 8, 2)
+        routing = np.zeros(8, dtype=np.int64)
+        routing[0] = -1
+        with pytest.raises(ValueError):
+            lite_route_single_rank(routing, layout, small_topology, rank=0)
+
+    def test_per_rank_matches_full(self, small_topology):
+        rng = np.random.default_rng(2)
+        routing = rng.integers(0, 50, size=(8, 8)).astype(np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = lite_route(routing, layout, small_topology)
+        for rank in range(8):
+            single = lite_route_single_rank(routing[rank], layout,
+                                            small_topology, rank)
+            assert np.array_equal(single, plan[rank])
+
+
+class TestAlternativeRouters:
+    def test_global_even_route_conserves(self, small_topology):
+        rng = np.random.default_rng(3)
+        routing = rng.integers(0, 40, size=(8, 8)).astype(np.int64)
+        layout = static_ep_layout(8, 8, 2)
+        plan = global_even_route(routing, layout)
+        assert np.array_equal(plan.sum(axis=2), routing)
+
+    def test_global_even_route_ignores_topology(self, small_topology):
+        assignment = np.zeros((8, 1), dtype=np.int64)
+        assignment[0, 0] = 1
+        assignment[4, 0] = 1
+        layout = ExpertLayout(assignment, capacity=1)
+        routing = np.zeros((8, 1), dtype=np.int64)
+        routing[1, 0] = 10
+        plan = global_even_route(routing, layout)
+        assert plan[1, 0, 0] == 5 and plan[1, 0, 4] == 5
+
+    def test_ep_route_sends_to_single_owner(self):
+        routing = np.full((4, 4), 7, dtype=np.int64)
+        layout = static_ep_layout(4, 4, 2)
+        plan = ep_route(routing, layout)
+        assert np.array_equal(plan.sum(axis=2), routing)
+        for expert in range(4):
+            owner = layout.devices_hosting(expert)[0]
+            assert plan[:, expert, owner].sum() == routing[:, expert].sum()
+
+    def test_ep_route_missing_replica(self):
+        layout = ExpertLayout(np.zeros((2, 1), dtype=np.int64), capacity=1)
+        with pytest.raises(ValueError):
+            ep_route(np.ones((2, 1), dtype=np.int64), layout)

@@ -1,0 +1,131 @@
+"""Tests for the load-balancing planner (Fig. 3 / Fig. 7 workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout_tuner import TunerConfig
+from repro.core.planner import IterationPlan, LoadBalancingPlanner, PlannerConfig
+from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+
+
+@pytest.fixture
+def planner(small_topology, small_cost_model):
+    return LoadBalancingPlanner(small_topology, small_cost_model, num_experts=8,
+                                config=PlannerConfig(capacity=2))
+
+
+def make_trace(iterations=5, seed=0, layers=2):
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=8, num_experts=8, num_layers=layers, tokens_per_device=2048,
+        top_k=2, skew=0.35, seed=seed))
+    return generator.generate(iterations)
+
+
+class TestPlannerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlannerConfig(capacity=0)
+        with pytest.raises(ValueError):
+            PlannerConfig(capacity=2, history_length=0)
+        with pytest.raises(ValueError):
+            PlannerConfig(capacity=2, ema_decay=0.0)
+
+
+class TestHistory:
+    def test_observe_and_predict_latest(self, planner):
+        routing = np.full((8, 8), 10, dtype=np.int64)
+        planner.observe(0, routing)
+        predicted = planner.predicted_routing(0)
+        assert np.array_equal(predicted, routing)
+
+    def test_no_history_returns_none(self, planner):
+        assert planner.predicted_routing(3) is None
+
+    def test_history_length_bounded(self, small_topology, small_cost_model):
+        planner = LoadBalancingPlanner(
+            small_topology, small_cost_model, 8,
+            PlannerConfig(capacity=2, history_length=2))
+        for value in range(5):
+            planner.observe(0, np.full((8, 8), value, dtype=np.int64))
+        assert len(planner._history[0]) == 2
+
+    def test_ema_prediction_blends_history(self, small_topology, small_cost_model):
+        planner = LoadBalancingPlanner(
+            small_topology, small_cost_model, 8,
+            PlannerConfig(capacity=2, ema_decay=0.5))
+        planner.observe(0, np.zeros((8, 8), dtype=np.int64))
+        planner.observe(0, np.full((8, 8), 10, dtype=np.int64))
+        predicted = planner.predicted_routing(0)
+        assert 0 < predicted[0, 0] < 10
+
+    def test_observe_wrong_shape(self, planner):
+        with pytest.raises(ValueError):
+            planner.observe(0, np.zeros((4, 8), dtype=np.int64))
+
+
+class TestLayoutTuning:
+    def test_fallback_before_history(self, planner):
+        layout = planner.current_layout(0)
+        layout.validate()
+        assert layout.num_experts == 8
+
+    def test_tune_layout_uses_history(self, planner):
+        trace = make_trace()
+        planner.observe(0, trace.layer(0, 0))
+        layout = planner.tune_layout(0)
+        layout.validate()
+        assert planner.current_layout(0) == layout
+
+    def test_fallback_for_non_divisible_expert_count(self, small_topology,
+                                                     small_cost_model):
+        planner = LoadBalancingPlanner(small_topology, small_cost_model,
+                                       num_experts=6,
+                                       config=PlannerConfig(capacity=2))
+        layout = planner.current_layout(0)
+        layout.validate()
+
+
+class TestPlanIteration:
+    def test_plans_are_valid(self, planner, small_cost_model):
+        trace = make_trace()
+        plans = planner.plan_iteration(trace.iteration(0))
+        assert len(plans) == trace.num_layers
+        for layer, plan in enumerate(plans):
+            assert isinstance(plan, IterationPlan)
+            small_cost_model.check_constraints(plan.layout, plan.routing_plan,
+                                               trace.layer(0, layer))
+            assert not plan.planned_from_history  # first iteration: fallback
+
+    def test_second_iteration_uses_tuned_layouts(self, planner):
+        trace = make_trace()
+        planner.plan_iteration(trace.iteration(0))
+        plans = planner.plan_iteration(trace.iteration(1))
+        assert all(plan.planned_from_history for plan in plans)
+
+    def test_adaptation_improves_balance(self, planner):
+        """After warm-up the planner should track the skewed distribution."""
+        trace = make_trace(iterations=6, seed=4)
+        first = planner.plan_iteration(trace.iteration(0))
+        later = None
+        for it in range(1, 6):
+            later = planner.plan_iteration(trace.iteration(it))
+        ideal = trace.layer(5, 0).sum() / 8
+        assert later[0].cost.max_tokens < first[0].cost.max_tokens
+        assert later[0].cost.max_tokens <= 1.6 * ideal
+
+    def test_reset_clears_state(self, planner):
+        trace = make_trace()
+        planner.plan_iteration(trace.iteration(0))
+        planner.reset()
+        plans = planner.plan_iteration(trace.iteration(1))
+        assert all(not plan.planned_from_history for plan in plans)
+
+    def test_wrong_rank_input(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan_iteration(np.zeros((8, 8), dtype=np.int64))
+
+    def test_dispatch_respects_given_layout(self, planner, small_topology):
+        trace = make_trace()
+        layout = planner.current_layout(0)
+        plan = planner.dispatch(trace.layer(0, 0), layout)
+        assert np.array_equal(plan.sum(axis=2), trace.layer(0, 0))

@@ -1,0 +1,100 @@
+"""Tests for causal self-attention."""
+
+import numpy as np
+import pytest
+
+from repro.model.attention import CausalSelfAttention
+
+from helpers import check_input_gradient, check_parameter_gradients
+
+
+def make_attention(hidden=16, heads=4, kv_heads=2, bias=False, seed=0):
+    return CausalSelfAttention(hidden, heads, kv_heads, bias=bias,
+                               rng=np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_output_shape(self):
+        attn = make_attention()
+        x = np.random.default_rng(0).normal(size=(2, 5, 16))
+        out, _ = attn.forward(x)
+        assert out.shape == (2, 5, 16)
+
+    def test_causality(self):
+        """Changing a future token must not affect earlier positions."""
+        attn = make_attention(seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 6, 16))
+        out1, _ = attn.forward(x)
+        x2 = x.copy()
+        x2[0, 5] += 10.0
+        out2, _ = attn.forward(x2)
+        assert np.allclose(out1[0, :5], out2[0, :5])
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+    def test_rejects_wrong_rank(self):
+        attn = make_attention()
+        with pytest.raises(ValueError):
+            attn.forward(np.zeros((5, 16)))
+
+    def test_gqa_head_constraints(self):
+        with pytest.raises(ValueError):
+            CausalSelfAttention(16, 4, 3)
+        with pytest.raises(ValueError):
+            CausalSelfAttention(17, 4, 2)
+
+    def test_bias_variant_has_more_parameters(self):
+        no_bias = make_attention(bias=False)
+        with_bias = make_attention(bias=True)
+        assert with_bias.num_parameters() > no_bias.num_parameters()
+
+    def test_flops_increase_with_sequence(self):
+        attn = make_attention()
+        assert attn.flops_per_token(1024) > attn.flops_per_token(128)
+
+
+class TestBackward:
+    def test_parameter_gradients(self):
+        rng = np.random.default_rng(3)
+        attn = make_attention(hidden=8, heads=2, kv_heads=1, seed=3)
+        x = rng.normal(size=(1, 4, 8))
+        target = rng.normal(size=(1, 4, 8))
+
+        def loss_fn():
+            out, _ = attn.forward(x)
+            return float(np.sum((out - target) ** 2))
+
+        def backward_fn():
+            out, cache = attn.forward(x)
+            attn.backward(2 * (out - target), cache)
+
+        check_parameter_gradients(attn, loss_fn, backward_fn, max_elements=20)
+
+    def test_input_gradient(self):
+        rng = np.random.default_rng(4)
+        attn = make_attention(hidden=8, heads=2, kv_heads=2, seed=4)
+        x = rng.normal(size=(1, 4, 8))
+        target = rng.normal(size=(1, 4, 8))
+        out, cache = attn.forward(x)
+        grad_in = attn.backward(2 * (out - target), cache)
+
+        def forward_loss(inp):
+            out2, _ = attn.forward(inp)
+            return float(np.sum((out2 - target) ** 2))
+
+        check_input_gradient(forward_loss, grad_in, x, max_elements=24)
+
+    def test_gqa_input_gradient(self):
+        """Gradient check with grouped (repeated) key/value heads."""
+        rng = np.random.default_rng(5)
+        attn = make_attention(hidden=16, heads=4, kv_heads=2, seed=5)
+        x = rng.normal(size=(1, 3, 16))
+        target = rng.normal(size=(1, 3, 16))
+        out, cache = attn.forward(x)
+        grad_in = attn.backward(2 * (out - target), cache)
+
+        def forward_loss(inp):
+            out2, _ = attn.forward(inp)
+            return float(np.sum((out2 - target) ** 2))
+
+        check_input_gradient(forward_loss, grad_in, x, max_elements=24)

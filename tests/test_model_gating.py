@@ -1,0 +1,158 @@
+"""Tests for the top-k gate and the auxiliary load-balancing loss."""
+
+import numpy as np
+import pytest
+
+from repro.model.gating import TopKGate, switch_load_balancing_loss
+from repro.model.layers import softmax
+
+
+def make_gate(hidden=8, experts=4, top_k=2, seed=0):
+    return TopKGate(hidden, experts, top_k, rng=np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_output_shapes(self):
+        gate = make_gate()
+        x = np.random.default_rng(0).normal(size=(10, 8))
+        out, _ = gate.forward(x)
+        assert out.expert_indices.shape == (10, 2)
+        assert out.gate_weights.shape == (10, 2)
+        assert out.full_probs.shape == (10, 4)
+        assert out.expert_counts.shape == (4,)
+
+    def test_gate_weights_sum_to_one(self):
+        gate = make_gate()
+        x = np.random.default_rng(1).normal(size=(16, 8))
+        out, _ = gate.forward(x)
+        assert np.allclose(out.gate_weights.sum(axis=-1), 1.0)
+
+    def test_topk_selects_largest_logits(self):
+        gate = make_gate(top_k=2)
+        x = np.random.default_rng(2).normal(size=(8, 8))
+        out, cache = gate.forward(x)
+        logits = cache["logits"]
+        for t in range(8):
+            top_true = set(np.argsort(-logits[t])[:2])
+            assert set(out.expert_indices[t]) == top_true
+
+    def test_indices_sorted_by_logit(self):
+        gate = make_gate(top_k=3, experts=6)
+        x = np.random.default_rng(3).normal(size=(5, 8))
+        out, cache = gate.forward(x)
+        logits = cache["logits"]
+        row = np.arange(5)[:, None]
+        selected = logits[row, out.expert_indices]
+        assert np.all(np.diff(selected, axis=-1) <= 1e-12)
+
+    def test_counts_match_indices(self):
+        gate = make_gate()
+        x = np.random.default_rng(4).normal(size=(32, 8))
+        out, _ = gate.forward(x)
+        manual = np.bincount(out.expert_indices.reshape(-1), minlength=4)
+        assert np.array_equal(out.expert_counts, manual)
+        assert out.expert_counts.sum() == 32 * 2
+
+    def test_invalid_input_shape(self):
+        gate = make_gate()
+        with pytest.raises(ValueError):
+            gate.forward(np.zeros((2, 3, 8)))
+
+    def test_invalid_topk(self):
+        with pytest.raises(ValueError):
+            TopKGate(8, 4, 5)
+
+
+class TestAuxLoss:
+    def test_balanced_routing_gives_one(self):
+        counts = np.array([10, 10, 10, 10])
+        probs = np.full((40, 4), 0.25)
+        assert switch_load_balancing_loss(counts, probs) == pytest.approx(1.0)
+
+    def test_concentrated_routing_larger(self):
+        counts = np.array([40, 0, 0, 0])
+        probs = softmax(np.tile(np.array([5.0, 0, 0, 0]), (40, 1)))
+        assert switch_load_balancing_loss(counts, probs) > 1.5
+
+    def test_zero_tokens(self):
+        assert switch_load_balancing_loss(np.zeros(4), np.zeros((0, 4))) == 0.0
+
+    def test_aux_loss_reported_by_gate(self):
+        gate = make_gate()
+        x = np.random.default_rng(5).normal(size=(64, 8))
+        out, _ = gate.forward(x)
+        # Near-balanced routing keeps the Switch loss close to its optimum of 1.
+        assert 0.9 <= out.aux_loss <= 1.5
+
+
+class TestBackward:
+    def test_gate_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(6)
+        gate = make_gate(seed=6)
+        x = rng.normal(size=(6, 8))
+        upstream = rng.normal(size=(6, 2))
+
+        out, cache = gate.forward(x)
+        gate.backward(upstream, aux_loss_weight=0.0, cache=cache)
+        analytic = gate.weight.grad.copy()
+
+        def loss_fn():
+            out2, _ = gate.forward(x)
+            return float(np.sum(out2.gate_weights * upstream))
+
+        eps = 1e-6
+        flat = gate.weight.value.reshape(-1)
+        grad_flat = analytic.reshape(-1)
+        indices = rng.choice(flat.size, size=20, replace=False)
+        for idx in indices:
+            original = flat[idx]
+            flat[idx] = original + eps
+            plus = loss_fn()
+            flat[idx] = original - eps
+            minus = loss_fn()
+            flat[idx] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(grad_flat[idx], numeric, rtol=1e-4, atol=1e-7)
+
+    def test_aux_loss_gradient_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        gate = make_gate(seed=7)
+        x = rng.normal(size=(12, 8))
+        weight = 0.5
+
+        gate.zero_grad()
+        out, cache = gate.forward(x)
+        gate.backward(np.zeros_like(out.gate_weights), aux_loss_weight=weight,
+                      cache=cache)
+        analytic = gate.weight.grad.copy()
+
+        def loss_fn():
+            out2, cache2 = gate.forward(x)
+            # Match the backward's treatment: dispatch fractions constant.
+            counts = cache["counts"]
+            fractions = counts / counts.sum()
+            mean_probs = out2.full_probs.mean(axis=0)
+            return float(weight * 4 * np.sum(fractions * mean_probs))
+
+        eps = 1e-6
+        flat = gate.weight.value.reshape(-1)
+        grad_flat = analytic.reshape(-1)
+        indices = rng.choice(flat.size, size=16, replace=False)
+        for idx in indices:
+            original = flat[idx]
+            flat[idx] = original + eps
+            plus = loss_fn()
+            flat[idx] = original - eps
+            minus = loss_fn()
+            flat[idx] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert np.isclose(grad_flat[idx], numeric, rtol=1e-3, atol=1e-8)
+
+    def test_aux_weight_zero_means_no_aux_gradient(self):
+        gate = make_gate(seed=8)
+        x = np.random.default_rng(8).normal(size=(10, 8))
+        out, cache = gate.forward(x)
+        gate.zero_grad()
+        gate.backward(np.zeros_like(out.gate_weights), aux_loss_weight=0.0,
+                      cache=cache)
+        assert np.allclose(gate.weight.grad, 0.0)

@@ -1,0 +1,146 @@
+"""Tests for the per-iteration cost assembly."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LAERPolicy, StaticEPPolicy
+from repro.core.comm_schedule import CommScheduleConfig
+from repro.core.cost_model import MoECostModel
+from repro.sim.iteration import IterationSimulator
+from repro.workloads.model_configs import get_model_config
+from repro.workloads.routing_traces import (
+    RoutingTraceConfig,
+    SyntheticRoutingTraceGenerator,
+    balanced_routing,
+)
+
+CONFIG = get_model_config("mixtral-8x7b-e8k2")
+EXPERT_BYTES = float(CONFIG.expert_param_bytes)
+
+
+def make_simulator(topology, paradigm="fsep", **kwargs):
+    return IterationSimulator(config=CONFIG, topology=topology,
+                              tokens_per_device=8192, paradigm=paradigm,
+                              num_layers=8, **kwargs)
+
+
+def skewed_routing(topology, seed=0, layers=2):
+    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
+        num_devices=topology.num_devices, num_experts=8, num_layers=layers,
+        tokens_per_device=8192, top_k=2, skew=0.35, seed=seed))
+    return generator.generate(1).iteration(0)
+
+
+class TestComponentCosts:
+    def test_prefetch_paradigm_differences(self, small_topology):
+        fsep = make_simulator(small_topology, "fsep")
+        fsdp_ep = make_simulator(small_topology, "fsdp_ep", ep_size=4)
+        megatron = make_simulator(small_topology, "megatron", ep_size=4, tp_size=2)
+        assert fsep.prefetch_time() > 0
+        assert fsdp_ep.prefetch_time() > 0
+        assert megatron.prefetch_time() == 0.0
+
+    def test_fsep_volume_close_to_fsdp(self, paper_topology):
+        """Sec. 3.1: FSEP's restore volume is within ~10-30% of FSDP's."""
+        fsep = make_simulator(paper_topology, "fsep")
+        fsdp_ep = make_simulator(paper_topology, "fsdp_ep", ep_size=4)
+        ratio = fsep.prefetch_time() / fsdp_ep.prefetch_time()
+        assert 0.9 < ratio < 1.6
+
+    def test_grad_sync_positive_for_all_paradigms(self, small_topology):
+        for paradigm, kwargs in (("fsep", {}), ("fsdp_ep", {"ep_size": 4}),
+                                 ("megatron", {"ep_size": 4})):
+            sim = make_simulator(small_topology, paradigm, **kwargs)
+            assert sim.grad_sync_time() >= 0
+
+    def test_token_a2a_zero_for_local_plan(self, small_topology):
+        sim = make_simulator(small_topology)
+        n = small_topology.num_devices
+        plan = np.zeros((n, 8, n), dtype=np.int64)
+        for dev in range(n):
+            plan[dev, :, dev] = 10
+        assert sim.token_a2a_time(plan) == 0.0
+
+    def test_expert_time_max_vs_mean(self, small_topology):
+        sim = make_simulator(small_topology)
+        n = small_topology.num_devices
+        plan = np.zeros((n, 8, n), dtype=np.int64)
+        plan[:, :, 0] = 10  # everything lands on device 0
+        assert sim.expert_forward_time(plan) > sim.expert_forward_time_mean(plan)
+
+    def test_exposed_time_from_bytes(self, small_topology):
+        sim = make_simulator(small_topology)
+        assert sim.exposed_time_from_bytes(0.0) == 0.0
+        assert sim.exposed_time_from_bytes(1e9) > 0.0
+
+    def test_validation(self, small_topology):
+        with pytest.raises(ValueError):
+            IterationSimulator(config=CONFIG, topology=small_topology,
+                               tokens_per_device=0)
+        with pytest.raises(ValueError):
+            IterationSimulator(config=CONFIG, topology=small_topology,
+                               tokens_per_device=8, paradigm="bogus")
+
+
+class TestSimulateIteration:
+    def test_imbalanced_slower_than_balanced(self, small_topology):
+        sim = make_simulator(small_topology)
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        skewed = policy.decide_iteration(skewed_routing(small_topology, seed=1))
+        policy.reset()
+        balanced = policy.decide_iteration(balanced_routing(
+            small_topology.num_devices, 8, 8192, 2, num_layers=2).iteration(0))
+        slow = sim.simulate_iteration(0, skewed)
+        fast = sim.simulate_iteration(0, balanced)
+        assert slow.total_time > fast.total_time
+        assert slow.max_relative_tokens > fast.max_relative_tokens
+
+    def test_breakdown_sums_to_total(self, small_topology):
+        sim = make_simulator(small_topology)
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        decisions = policy.decide_iteration(skewed_routing(small_topology))
+        result = sim.simulate_iteration(0, decisions)
+        assert sum(result.breakdown.values()) == pytest.approx(result.total_time,
+                                                               rel=0.05)
+
+    def test_layer_scaling(self, small_topology):
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        decisions = policy.decide_iteration(skewed_routing(small_topology))
+        sim8 = make_simulator(small_topology)
+        sim16 = IterationSimulator(config=CONFIG, topology=small_topology,
+                                   tokens_per_device=8192, num_layers=16)
+        t8 = sim8.simulate_iteration(0, decisions).total_time
+        t16 = sim16.simulate_iteration(0, decisions).total_time
+        assert t16 == pytest.approx(2 * t8, rel=1e-6)
+
+    def test_throughput(self, small_topology):
+        sim = make_simulator(small_topology)
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        result = sim.simulate_iteration(
+            0, policy.decide_iteration(skewed_routing(small_topology)))
+        assert result.throughput(global_tokens=8 * 8192) > 0
+
+    def test_empty_decisions_rejected(self, small_topology):
+        sim = make_simulator(small_topology)
+        with pytest.raises(ValueError):
+            sim.simulate_iteration(0, [])
+
+    def test_comm_opt_off_is_slower(self, small_topology):
+        cost_model = MoECostModel.from_model_config(CONFIG, small_topology)
+        policy = LAERPolicy(small_topology, 8, 2, EXPERT_BYTES, cost_model)
+        routing = skewed_routing(small_topology, seed=2)
+        decisions = policy.decide_iteration(routing)
+        with_opt = make_simulator(small_topology,
+                                  schedule=CommScheduleConfig.all_enabled())
+        without = make_simulator(small_topology,
+                                 schedule=CommScheduleConfig.none_enabled())
+        assert (without.simulate_iteration(0, decisions).total_time
+                > with_opt.simulate_iteration(0, decisions).total_time)
+
+    def test_activation_checkpointing_adds_recompute(self, small_topology):
+        policy = StaticEPPolicy(small_topology, 8, 2, EXPERT_BYTES)
+        decisions = policy.decide_iteration(skewed_routing(small_topology))
+        plain = make_simulator(small_topology)
+        ckpt = make_simulator(small_topology, activation_checkpointing=True)
+        assert (ckpt.simulate_iteration(0, decisions).total_time
+                > plain.simulate_iteration(0, decisions).total_time)

@@ -1,0 +1,85 @@
+"""Tests for the multi-stream event scheduler."""
+
+import pytest
+
+from repro.sim.streams import StreamOp, StreamScheduler
+
+
+class TestStreamScheduler:
+    def test_sequential_same_stream(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a", "compute", 2.0))
+        scheduler.submit(StreamOp("b", "compute", 3.0))
+        timeline = scheduler.run()
+        assert timeline.makespan == 5.0
+        assert timeline.end_of("a") == 2.0
+        assert timeline.end_of("b") == 5.0
+
+    def test_parallel_streams_overlap(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("compute", "s1", 4.0))
+        scheduler.submit(StreamOp("comm", "s2", 3.0))
+        timeline = scheduler.run()
+        assert timeline.makespan == 4.0
+
+    def test_dependencies_respected(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a2a", "comm", 2.0))
+        scheduler.submit(StreamOp("expert", "compute", 5.0, depends_on=["a2a"]))
+        timeline = scheduler.run()
+        assert timeline.end_of("expert") == 7.0
+
+    def test_fig5_style_overlap(self):
+        """Prefetch on a second stream hides under expert compute (Fig. 5b)."""
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("attn", "compute", 1.0))
+        scheduler.submit(StreamOp("dispatch", "a2a", 0.5, depends_on=["attn"]))
+        scheduler.submit(StreamOp("expert", "compute", 4.0, depends_on=["dispatch"]))
+        scheduler.submit(StreamOp("prefetch", "prefetch", 3.0,
+                                  depends_on=["dispatch"]))
+        scheduler.submit(StreamOp("combine", "a2a", 0.5, depends_on=["expert"]))
+        timeline = scheduler.run()
+        # The prefetch finishes while the expert compute is still running.
+        assert timeline.end_of("prefetch") < timeline.end_of("expert")
+        assert timeline.makespan == timeline.end_of("combine")
+
+    def test_stream_busy_time(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a", "s1", 2.0))
+        scheduler.submit(StreamOp("b", "s1", 3.0))
+        scheduler.submit(StreamOp("c", "s2", 1.0))
+        timeline = scheduler.run()
+        assert timeline.stream_busy_time("s1") == 5.0
+        assert timeline.stream_busy_time("s2") == 1.0
+
+    def test_as_rows_sorted_by_start(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a", "s1", 2.0))
+        scheduler.submit(StreamOp("b", "s2", 1.0))
+        rows = scheduler.run().as_rows()
+        assert rows[0]["start"] <= rows[1]["start"]
+
+    def test_duplicate_name_rejected(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a", "s1", 1.0))
+        with pytest.raises(ValueError):
+            scheduler.submit(StreamOp("a", "s1", 1.0))
+
+    def test_unknown_dependency_rejected(self):
+        scheduler = StreamScheduler()
+        with pytest.raises(ValueError):
+            scheduler.submit(StreamOp("b", "s1", 1.0, depends_on=["missing"]))
+
+    def test_unknown_end_of(self):
+        scheduler = StreamScheduler()
+        scheduler.submit(StreamOp("a", "s1", 1.0))
+        timeline = scheduler.run()
+        with pytest.raises(KeyError):
+            timeline.end_of("missing")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StreamOp("a", "s1", -1.0)
+
+    def test_empty_timeline(self):
+        assert StreamScheduler().run().makespan == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the explicit Fig. 5 timeline builder."""
+
+import pytest
+
+from repro.core.comm_schedule import CommScheduleConfig, LayerTimings, schedule_layer
+from repro.sim.timeline import build_forward_timeline, format_timeline
+
+
+def timings(attention=2.0, expert=6.0, a2a=1.0, prefetch=3.0):
+    return LayerTimings(attention_compute=attention, expert_compute=expert,
+                        token_a2a=a2a, expert_prefetch=prefetch)
+
+
+class TestForwardTimeline:
+    def test_critical_path_without_prefetch(self):
+        t = LayerTimings(attention_compute=2.0, expert_compute=6.0,
+                         token_a2a=1.0, expert_prefetch=0.0)
+        timeline = build_forward_timeline(t, CommScheduleConfig.all_enabled())
+        assert timeline.duration == pytest.approx(2.0 + 1.0 + 6.0 + 1.0)
+
+    def test_relaxed_prefetch_hidden_under_expert_compute(self):
+        timeline = build_forward_timeline(timings(), CommScheduleConfig.all_enabled())
+        # Prefetch (3.0) fits entirely under the expert compute (6.0).
+        assert timeline.exposed_prefetch == pytest.approx(0.0)
+        assert timeline.duration == pytest.approx(2.0 + 1.0 + 6.0 + 1.0)
+
+    def test_default_schedule_serialises_prefetch(self):
+        """Without the relaxed constraint a long prefetch delays the experts."""
+        relaxed = build_forward_timeline(
+            timings(prefetch=5.0), CommScheduleConfig.all_enabled())
+        strict = build_forward_timeline(
+            timings(prefetch=5.0),
+            CommScheduleConfig(relaxed_prefetch=False, schedule_after_a2a=True,
+                               delay_grad_sync=True))
+        assert strict.duration > relaxed.duration
+
+    def test_contention_slows_dispatch(self):
+        clean = build_forward_timeline(timings(), CommScheduleConfig.all_enabled())
+        contended = build_forward_timeline(
+            timings(),
+            CommScheduleConfig(relaxed_prefetch=True, schedule_after_a2a=False,
+                               delay_grad_sync=True))
+        assert contended.duration >= clean.duration
+
+    def test_timeline_consistent_with_analytic_model(self):
+        """The explicit timeline never beats the analytic forward-time model by
+        more than the model's contention padding."""
+        t = timings()
+        config = CommScheduleConfig.all_enabled()
+        timeline = build_forward_timeline(t, config)
+        analytic = schedule_layer(t, config)
+        assert timeline.duration <= analytic.forward_time + 1e-9
+
+    def test_streams_used(self):
+        timeline = build_forward_timeline(timings(), CommScheduleConfig.all_enabled())
+        streams = {row["stream"] for row in timeline.rows()}
+        assert "S1-compute" in streams
+        assert "S2-prefetch" in streams
+        assert "S3-token-a2a" in streams
+
+    def test_format_timeline(self):
+        timeline = build_forward_timeline(timings(), CommScheduleConfig.all_enabled())
+        text = format_timeline(timeline, unit="ms")
+        assert "expert_compute" in text
+        assert "total" in text
+        with pytest.raises(KeyError):
+            format_timeline(timeline, unit="minutes")

@@ -1,0 +1,84 @@
+"""Tests for the synthetic token datasets."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    C4_LIKE,
+    DatasetConfig,
+    SyntheticTextDataset,
+    WIKITEXT_LIKE,
+    get_dataset,
+)
+
+
+class TestDatasetConfig:
+    def test_presets_differ(self):
+        assert WIKITEXT_LIKE.vocab_size != C4_LIKE.vocab_size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(name="bad", vocab_size=2)
+        with pytest.raises(ValueError):
+            DatasetConfig(name="bad", zipf_exponent=0.0)
+        with pytest.raises(ValueError):
+            DatasetConfig(name="bad", num_states=0)
+
+
+class TestSampling:
+    def test_batch_shapes(self):
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        inputs, targets = ds.batch(batch_size=3, seq_length=16)
+        assert inputs.shape == (3, 16)
+        assert targets.shape == (3, 16)
+
+    def test_tokens_in_vocab(self):
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        inputs, targets = ds.batch(batch_size=4, seq_length=32)
+        assert inputs.min() >= 0 and inputs.max() < WIKITEXT_LIKE.vocab_size
+        assert targets.min() >= 0 and targets.max() < WIKITEXT_LIKE.vocab_size
+
+    def test_targets_shift_inputs(self):
+        """The target at position t is the input at position t+1."""
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        inputs, targets = ds.batch(batch_size=2, seq_length=16, seed=7)
+        assert np.array_equal(inputs[:, 1:], targets[:, :-1])
+
+    def test_seeded_batches_reproducible(self):
+        ds1 = SyntheticTextDataset(WIKITEXT_LIKE)
+        ds2 = SyntheticTextDataset(WIKITEXT_LIKE)
+        b1 = ds1.batch(2, 8, seed=123)
+        b2 = ds2.batch(2, 8, seed=123)
+        assert np.array_equal(b1[0], b2[0])
+
+    def test_unigram_distribution_is_heavy_tailed(self):
+        """A few tokens should account for a large share of the stream."""
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        inputs, _ = ds.batch(batch_size=16, seq_length=128, seed=1)
+        counts = np.bincount(inputs.reshape(-1), minlength=WIKITEXT_LIKE.vocab_size)
+        counts = np.sort(counts)[::-1]
+        top_decile = counts[:WIKITEXT_LIKE.vocab_size // 10].sum()
+        assert top_decile / counts.sum() > 0.3
+
+    def test_batches_iterator(self):
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        batches = list(ds.batches(num_batches=3, batch_size=2, seq_length=8))
+        assert len(batches) == 3
+
+    def test_invalid_args(self):
+        ds = SyntheticTextDataset(WIKITEXT_LIKE)
+        with pytest.raises(ValueError):
+            ds.batch(0, 8)
+        with pytest.raises(ValueError):
+            ds.sample_sequence(0)
+
+
+class TestGetDataset:
+    def test_known_names(self):
+        assert get_dataset("wikitext").config.name == "wikitext"
+        assert get_dataset("WikiText-103").config.name == "wikitext"
+        assert get_dataset("c4").config.name == "c4"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_dataset("imagenet")
