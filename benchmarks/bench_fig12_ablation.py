@@ -7,48 +7,54 @@ Compares full LAER-MoE against variants that disable one design component:
 * ``laer_no_comm_opt`` -- without the Fig. 5 communication-scheduling
   optimisations;
 * ``fsdp_ep`` -- the static baseline for reference.
+
+The ablations are parameterized entries of the system registry
+(:mod:`repro.sim.systems`), so the whole study is one declarative
+:class:`repro.api.ExperimentSpec` executed by the shared runner.
 """
 
 from __future__ import annotations
 
-from repro.analysis.reporting import format_speedup_table, format_table, print_report
-from repro.workloads.model_configs import get_model_config
+from repro.analysis.reporting import format_table, print_report
+from repro.api import run_experiment
 
-from conftest import make_trace, run_systems
+from conftest import experiment_spec
 
-SYSTEMS = ["fsdp_ep", "laer_even_only", "laer_pq_only", "laer_no_comm_opt", "laer"]
+SYSTEMS = ("fsdp_ep", "laer_even_only", "laer_pq_only", "laer_no_comm_opt",
+           "laer")
 
 
 def run_ablation(paper_cluster):
-    config = get_model_config("mixtral-8x7b-e8k2")
-    trace = make_trace(config, paper_cluster, dataset="wikitext")
-    return run_systems(SYSTEMS, config, paper_cluster, trace)
+    spec = experiment_spec("mixtral-8x7b-e8k2", SYSTEMS, reference="fsdp_ep",
+                           topology=paper_cluster, dataset="wikitext",
+                           name="fig12-ablation")
+    return run_experiment(spec)
 
 
 def test_fig12_ablation(benchmark, paper_cluster):
-    results = benchmark.pedantic(run_ablation, args=(paper_cluster,),
-                                 rounds=1, iterations=1)
+    result = benchmark.pedantic(run_ablation, args=(paper_cluster,),
+                                rounds=1, iterations=1)
 
-    throughputs = {name: run.throughput for name, run in results.items()}
-    speedups = format_speedup_table(
-        throughputs, reference="fsdp_ep",
+    speedups = result.format_speedups(
         title="Figure 12: ablation of the layout solver schemes and the "
               "communication optimisations (Mixtral-8x7B e8k2)")
     balance = format_table([
-        {"system": name,
-         "relative_max_tokens": round(run.mean_relative_max_tokens(), 3),
-         "exposed_comm_ms": round(1000 * run.mean_breakdown().get("exposed_comm", 0.0), 1)}
-        for name, run in results.items()
+        {"system": key,
+         "relative_max_tokens": round(res.mean_relative_max_tokens, 3),
+         "exposed_comm_ms": round(1000 * res.breakdown_s.get("exposed_comm",
+                                                             0.0), 1)}
+        for key, res in result.systems.items()
     ], title="Balance and exposed communication per variant")
     print_report(speedups, balance)
 
-    full = results["laer"].throughput
+    throughputs = result.throughputs()
+    full = throughputs["laer"]
     # The full solver (both schemes) is at least as good as either single
     # scheme, and disabling the communication optimisations costs throughput.
-    assert full >= results["laer_pq_only"].throughput * 0.99
-    assert full >= results["laer_even_only"].throughput * 0.99
-    assert full > results["laer_no_comm_opt"].throughput
+    assert full >= throughputs["laer_pq_only"] * 0.99
+    assert full >= throughputs["laer_even_only"] * 0.99
+    assert full > throughputs["laer_no_comm_opt"]
     # Every variant still beats the static baseline.
-    assert all(results[name].throughput > results["fsdp_ep"].throughput
+    assert all(throughputs[name] > throughputs["fsdp_ep"]
                for name in ("laer", "laer_pq_only", "laer_even_only",
                             "laer_no_comm_opt"))

@@ -1,8 +1,9 @@
 """Figure 8 -- end-to-end training throughput of the compared systems.
 
 For every Table 2 model configuration and two dataset/auxiliary-loss
-scenarios, simulate Megatron, FSDP+EP, FlexMoE(+FSEP) and LAER-MoE over the
-same routing trace and report throughput plus the speedup of LAER-MoE over
+scenarios, run one declarative :class:`repro.api.ExperimentSpec` through the
+shared :class:`repro.api.ExperimentRunner` -- the same pipeline behind
+``repro run`` -- and report throughput plus the speedup of LAER-MoE over
 Megatron (blue numbers in the paper's figure) and over FSDP+EP (purple
 numbers).  Paper reference: up to 1.69x over Megatron, 1.50x over FSDP+EP and
 1.39x (1.20x average) over FlexMoE.
@@ -13,11 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.reporting import format_table, print_report
+from repro.api import run_experiment
 from repro.workloads.model_configs import list_model_configs
 
-from conftest import make_trace, model_configs, run_systems
+from conftest import experiment_spec
 
-SYSTEMS = ["megatron", "fsdp_ep", "flexmoe", "laer"]
+SYSTEMS = ("megatron", "fsdp_ep", "flexmoe", "laer")
 SCENARIOS = [
     {"dataset": "wikitext", "aux_loss_weight": 0.0},
     {"dataset": "c4", "aux_loss_weight": 1e-4},
@@ -26,24 +28,26 @@ SCENARIOS = [
 
 def run_end_to_end(paper_cluster):
     rows = []
-    for config in model_configs(list_model_configs()):
+    for model in list_model_configs():
         for scenario in SCENARIOS:
-            trace = make_trace(config, paper_cluster,
-                               dataset=scenario["dataset"],
-                               aux_loss_weight=scenario["aux_loss_weight"])
-            results = run_systems(SYSTEMS, config, paper_cluster, trace)
-            laer = results["laer"]
+            spec = experiment_spec(
+                model, SYSTEMS, reference="megatron", topology=paper_cluster,
+                dataset=scenario["dataset"],
+                aux_loss_weight=scenario["aux_loss_weight"],
+                name=f"fig8-{model}-{scenario['dataset']}")
+            result = run_experiment(spec)
+            throughputs = result.throughputs()
             rows.append({
-                "model": config.name,
+                "model": model,
                 "dataset": scenario["dataset"],
                 "aux_loss": scenario["aux_loss_weight"],
-                "megatron_tok_s": round(results["megatron"].throughput, 0),
-                "fsdp_ep_tok_s": round(results["fsdp_ep"].throughput, 0),
-                "flexmoe_tok_s": round(results["flexmoe"].throughput, 0),
-                "laer_tok_s": round(laer.throughput, 0),
-                "laer_vs_megatron": round(laer.speedup_over(results["megatron"]), 2),
-                "laer_vs_fsdp_ep": round(laer.speedup_over(results["fsdp_ep"]), 2),
-                "laer_vs_flexmoe": round(laer.speedup_over(results["flexmoe"]), 2),
+                "megatron_tok_s": round(throughputs["megatron"], 0),
+                "fsdp_ep_tok_s": round(throughputs["fsdp_ep"], 0),
+                "flexmoe_tok_s": round(throughputs["flexmoe"], 0),
+                "laer_tok_s": round(throughputs["laer"], 0),
+                "laer_vs_megatron": round(result.speedup("laer", "megatron"), 2),
+                "laer_vs_fsdp_ep": round(result.speedup("laer", "fsdp_ep"), 2),
+                "laer_vs_flexmoe": round(result.speedup("laer", "flexmoe"), 2),
             })
     return rows
 

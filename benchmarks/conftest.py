@@ -13,10 +13,12 @@ EXPERIMENTS.md for the side-by-side comparison.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import pytest
 
+from repro.api import ClusterSpec, ExperimentSpec, WorkloadSpec
+from repro.api.specs import SystemSpec
 from repro.cluster.topology import ClusterTopology
 from repro.sim.engine import RunResult, compare_systems
 from repro.sim.systems import make_system
@@ -88,6 +90,37 @@ def run_systems(system_names: Sequence[str], config: MoEModelConfig,
     systems = [make_system(name, config, topology, TOKENS_PER_DEVICE)
                for name in system_names]
     return compare_systems(systems, trace, warmup=BENCH_WARMUP)
+
+
+def experiment_spec(model: str, systems: Sequence[Union[str, SystemSpec]],
+                    reference: str, topology: ClusterTopology,
+                    dataset: str = "wikitext", aux_loss_weight: float = 0.0,
+                    name: str = "benchmark") -> ExperimentSpec:
+    """Build the declarative spec for one benchmark configuration.
+
+    Mirrors :func:`make_trace` exactly (same seeds, skew and drift per
+    dataset/aux-loss scenario) so spec-driven benchmarks reproduce the
+    numbers of the hand-wired pipeline they replaced.
+    """
+    params = DATASET_TRACE_PARAMS[dataset]
+    skew = params["skew"] * AUX_LOSS_SKEW_MULTIPLIER.get(aux_loss_weight, 1.0)
+    return ExperimentSpec(
+        name=name,
+        cluster=ClusterSpec.from_topology(topology),
+        workload=WorkloadSpec(
+            model=model,
+            tokens_per_device=TOKENS_PER_DEVICE,
+            layers=TRACE_LAYERS,
+            iterations=BENCH_ITERATIONS,
+            warmup=BENCH_WARMUP,
+            skew=skew,
+            drift=0.08,
+            churn_prob=0.0,
+            seed=params["seed"],
+        ),
+        systems=tuple(systems),
+        reference=reference,
+    )
 
 
 def model_configs(names: Sequence[str]) -> List[MoEModelConfig]:

@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Compare the training systems end to end on a simulated 32-GPU cluster.
 
-Reproduces a slice of Fig. 8 and Fig. 10 interactively: simulate Megatron,
-FSDP+EP, FlexMoE and LAER-MoE over the same skewed routing trace, and print
-throughput, speedups, the time breakdown and the per-layer balance.
+Reproduces a slice of Fig. 8 and Fig. 10 interactively through the
+declarative experiment API: describe the experiment as a
+:class:`repro.api.ExperimentSpec`, execute it with the shared runner, and
+print throughput, speedups, the time breakdown and the per-layer balance.
+The same spec could be saved with ``spec.save("exp.json")`` and replayed via
+``repro run --spec exp.json``.
 
 Run with::
 
@@ -17,63 +20,51 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis.breakdown import breakdown_table_from_runs
-from repro.analysis.reporting import (
-    format_series,
-    format_speedup_table,
-    format_table,
-    print_report,
-)
-from repro.cluster import ClusterTopology
-from repro.sim import make_system
-from repro.sim.engine import compare_systems
-from repro.workloads import (
-    RoutingTraceConfig,
-    SyntheticRoutingTraceGenerator,
-    get_model_config,
-)
+from repro.analysis.reporting import format_series, print_report
+from repro.api import ClusterSpec, ExperimentSpec, WorkloadSpec, run_experiment
 
-SYSTEMS = ["megatron", "fsdp_ep", "flexmoe", "laer", "oracle"]
+SYSTEMS = ("megatron", "fsdp_ep", "flexmoe", "laer", "oracle")
 TOKENS_PER_DEVICE = 16384
 
 
 def main(model_name: str = "mixtral-8x7b-e8k2") -> None:
-    topology = ClusterTopology.paper_cluster()
-    config = get_model_config(model_name)
+    spec = ExperimentSpec(
+        name=f"end-to-end-{model_name}",
+        cluster=ClusterSpec(num_nodes=4, devices_per_node=8),
+        workload=WorkloadSpec(
+            model=model_name,
+            tokens_per_device=TOKENS_PER_DEVICE,
+            layers=4,
+            iterations=8,
+            warmup=2,
+            skew=0.45,
+            churn_prob=0.02,
+            seed=11,
+        ),
+        systems=SYSTEMS,
+        reference="megatron",
+    )
+    result = run_experiment(spec)
 
-    trace = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
-        num_devices=topology.num_devices,
-        num_experts=config.num_experts,
-        num_layers=4,
-        tokens_per_device=TOKENS_PER_DEVICE,
-        top_k=config.top_k,
-        skew=0.45,
-        seed=11,
-    )).generate(10)
-
-    systems = [make_system(name, config, topology, TOKENS_PER_DEVICE)
-               for name in SYSTEMS]
-    results = compare_systems(systems, trace, warmup=2)
-
-    throughputs = {name: run.throughput for name, run in results.items()}
-    speedups = format_speedup_table(
-        throughputs, reference="megatron",
+    num_devices = spec.cluster.num_devices
+    speedups = result.format_speedups(
         title=f"End-to-end throughput on {model_name} "
-              f"({topology.num_devices} GPUs, {TOKENS_PER_DEVICE} tokens/GPU)")
+              f"({num_devices} GPUs, {TOKENS_PER_DEVICE} tokens/GPU)")
 
-    table = breakdown_table_from_runs(results)
-    breakdown = format_table(table.as_rows(),
-                             title="Iteration time breakdown (percent of total)")
+    breakdown = result.format_breakdown(
+        title="Iteration time breakdown (percent of total)")
 
     balance = format_series(
-        {name: run.per_layer_relative_max_tokens() for name, run in results.items()},
-        x_label="moe_layer", x_values=range(trace.num_layers),
+        {key: res.per_layer_relative_max_tokens
+         for key, res in result.systems.items()},
+        x_label="moe_layer", x_values=range(spec.workload.layers),
         title="Relative max token count per layer (1.0 = perfect balance)")
 
     print_report(speedups, breakdown, balance)
 
-    laer, fsdp = results["laer"], results["fsdp_ep"]
-    print(f"LAER-MoE speedup over FSDP+EP: {laer.speedup_over(fsdp):.2f}x; "
+    laer, fsdp = result.systems["laer"], result.systems["fsdp_ep"]
+    print(f"LAER-MoE speedup over FSDP+EP: "
+          f"{result.speedup('laer', 'fsdp_ep'):.2f}x; "
           f"All-to-All share drops from "
           f"{100 * fsdp.all_to_all_fraction():.0f}% to "
           f"{100 * laer.all_to_all_fraction():.0f}%.")

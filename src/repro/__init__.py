@@ -4,6 +4,9 @@ This package is a from-scratch Python reproduction of the ASPLOS 2026 paper
 *LAER-MoE: Load-Adaptive Expert Re-layout for Efficient Mixture-of-Experts
 Training*.  It contains:
 
+* ``repro.api`` -- the declarative front door: JSON-serializable experiment
+  specs (:class:`repro.api.ExperimentSpec`), the experiment runner executing
+  them end to end, and structured, serializable results.  Start here.
 * ``repro.core`` -- the paper's contribution: the FSEP parallel paradigm
   (shard / unshard / reshard of fully-sharded expert parameters with arbitrary
   per-iteration expert layouts), the load-balancing planner (expert layout
@@ -43,9 +46,19 @@ from repro.core import (
     MoECostModel,
     lite_route,
 )
+from repro.api import (
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    run_experiment,
+)
 
 __all__ = [
     "__version__",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "run_experiment",
     "ClusterTopology",
     "CollectiveCostModel",
     "get_model_config",

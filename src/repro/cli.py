@@ -2,32 +2,43 @@
 
 Provides quick access to the most common workflows without writing Python:
 
-* ``python -m repro.cli models`` -- print the Table 2 model registry;
-* ``python -m repro.cli trace`` -- generate (and optionally save) a synthetic
-  routing trace and print its summary statistics;
-* ``python -m repro.cli compare`` -- simulate the compared training systems on
-  a model/cluster/trace combination and print throughput, speedups and the
+* ``repro models`` -- print the Table 2 model registry;
+* ``repro systems`` -- print the registered training systems;
+* ``repro trace`` -- generate (and optionally save) a synthetic routing trace
+  and print its summary statistics;
+* ``repro compare`` -- simulate the compared training systems on a
+  model/cluster/trace combination and print throughput, speedups and the
   time breakdown;
-* ``python -m repro.cli plan`` -- run the load-balancing planner over a trace
-  and print per-iteration balance against the static EP layout.
+* ``repro plan`` -- run the load-balancing planner over a trace and print
+  per-iteration balance (aggregated over all MoE layers) against the static
+  EP layout;
+* ``repro run`` -- execute a declarative :class:`repro.api.ExperimentSpec`,
+  either loaded from a JSON file (``--spec exp.json``) or assembled from the
+  command-line flags; ``--dump-spec`` writes the spec instead of running it.
+
+Every simulation flows through :class:`repro.api.ExperimentRunner`, so
+``repro compare`` and ``repro run`` on an equivalent spec produce identical
+numbers.  (``python -m repro.cli`` works too; the ``repro`` console script is
+installed by the package metadata.)
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import sys
+from typing import Optional, Sequence
 
-from repro.analysis.breakdown import breakdown_table_from_runs
-from repro.analysis.reporting import format_speedup_table, format_table, print_report
-from repro.cluster.topology import ClusterTopology
-from repro.core.cost_model import MoECostModel
-from repro.core.layout import static_ep_layout
-from repro.core.lite_routing import lite_route
-from repro.core.planner import LoadBalancingPlanner, PlannerConfig
-from repro.sim.engine import compare_systems
-from repro.sim.systems import available_systems, make_system
+from repro.analysis.reporting import format_table, print_report
+from repro.api import (
+    ClusterSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    WorkloadSpec,
+    run_planner_study,
+)
+from repro.sim.systems import available_systems, system_descriptions
 from repro.workloads.model_configs import get_model_config, list_model_configs
-from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
 from repro.workloads.trace_io import save_trace, summarize_trace
 
 
@@ -38,6 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list the Table 2 model configurations")
+    sub.add_parser("systems", help="list the registered training systems")
 
     trace = sub.add_parser("trace", help="generate a synthetic routing trace")
     _add_common_workload_args(trace)
@@ -47,16 +59,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="simulate the training systems")
     _add_common_workload_args(compare)
-    compare.add_argument("--iterations", type=int, default=10)
-    compare.add_argument("--systems", nargs="+", default=["megatron", "fsdp_ep",
-                                                          "flexmoe", "laer"],
-                         choices=available_systems())
-    compare.add_argument("--reference", type=str, default="megatron")
+    _add_simulation_args(compare)
 
     plan = sub.add_parser("plan", help="run the planner over a trace")
     _add_common_workload_args(plan)
     plan.add_argument("--iterations", type=int, default=6)
+
+    run = sub.add_parser(
+        "run", help="run a declarative experiment spec end to end")
+    _add_common_workload_args(run)
+    _add_simulation_args(run)
+    run.add_argument("--name", type=str, default="experiment",
+                     help="experiment name recorded in the spec/result")
+    run.add_argument("--spec", type=str, default=None,
+                     help="JSON experiment spec to run (overrides the "
+                          "workload/system flags)")
+    run.add_argument("--dump-spec", type=str, default=None, metavar="PATH",
+                     help="write the experiment spec as JSON to PATH "
+                          "('-' for stdout) and exit without running")
+    run.add_argument("--output", type=str, default=None,
+                     help="optional path to save the JSON experiment result")
     return parser
+
+
+def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the simulation commands (``compare`` and ``run``)."""
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--warmup", type=int, default=2)
+    parser.add_argument("--systems", nargs="+",
+                        default=["megatron", "fsdp_ep", "flexmoe", "laer"],
+                        choices=available_systems())
+    parser.add_argument("--reference", type=str, default="megatron")
 
 
 def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -70,18 +103,37 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _topology(args: argparse.Namespace) -> ClusterTopology:
-    return ClusterTopology(num_nodes=args.num_nodes,
-                           devices_per_node=args.devices_per_node)
+def _experiment_spec(args: argparse.Namespace, warmup: int,
+                     systems: Optional[Sequence[str]] = None,
+                     reference: str = "megatron",
+                     name: str = "experiment") -> ExperimentSpec:
+    """Assemble an :class:`ExperimentSpec` from the common CLI flags."""
+    return ExperimentSpec(
+        name=name,
+        cluster=ClusterSpec(num_nodes=args.num_nodes,
+                            devices_per_node=args.devices_per_node),
+        workload=WorkloadSpec(model=args.model,
+                              tokens_per_device=args.tokens_per_device,
+                              layers=args.layers,
+                              iterations=args.iterations,
+                              warmup=warmup,
+                              skew=args.skew,
+                              seed=args.seed),
+        systems=tuple(systems) if systems else ("laer",),
+        reference=reference,
+    )
 
 
-def _trace(args: argparse.Namespace, topology: ClusterTopology, iterations: int):
-    config = get_model_config(args.model)
-    generator = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
-        num_devices=topology.num_devices, num_experts=config.num_experts,
-        num_layers=args.layers, tokens_per_device=args.tokens_per_device,
-        top_k=config.top_k, skew=args.skew, churn_prob=0.0, seed=args.seed))
-    return config, generator.generate(iterations)
+def _print_experiment(result: ExperimentResult) -> None:
+    """Print the speedup and breakdown tables of one experiment result."""
+    if result.reference_substituted:
+        print(f"warning: reference system {result.requested_reference!r} is "
+              f"not among the simulated systems; using {result.reference!r} "
+              f"as the reference instead", file=sys.stderr)
+    model = result.spec.workload.model
+    print_report(
+        result.format_speedups(title=f"End-to-end comparison on {model}"),
+        result.format_breakdown(title="Time breakdown (percent of total)"))
 
 
 # ----------------------------------------------------------------------
@@ -93,9 +145,16 @@ def cmd_models(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_systems(_: argparse.Namespace) -> int:
+    rows = [{"system": name, "description": description}
+            for name, description in system_descriptions().items()]
+    print_report(format_table(rows, title="Registered training systems"))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    topology = _topology(args)
-    _, trace = _trace(args, topology, args.iterations)
+    spec = _experiment_spec(args, warmup=0)
+    trace = spec.workload.make_trace(spec.cluster.num_devices)
     summary = summarize_trace(trace)
     print_report(format_table([summary.as_dict()],
                               title="Routing trace summary"))
@@ -106,52 +165,70 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    topology = _topology(args)
-    config, trace = _trace(args, topology, args.iterations + 2)
-    systems = [make_system(name, config, topology, args.tokens_per_device)
-               for name in args.systems]
-    results = compare_systems(systems, trace, warmup=2)
-    throughputs = {name: run.throughput for name, run in results.items()}
-    reference = args.reference if args.reference in results else args.systems[0]
-    table = breakdown_table_from_runs(results)
-    print_report(
-        format_speedup_table(throughputs, reference,
-                             title=f"End-to-end comparison on {config.name}"),
-        format_table(table.as_rows(), title="Time breakdown (percent of total)"))
+    spec = _experiment_spec(args, warmup=args.warmup, systems=args.systems,
+                            reference=args.reference, name="compare")
+    _print_experiment(ExperimentRunner().run(spec))
     return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    topology = _topology(args)
-    config, trace = _trace(args, topology, args.iterations)
-    cost_model = MoECostModel.from_model_config(config, topology)
-    planner = LoadBalancingPlanner(topology, cost_model, config.num_experts,
-                                   PlannerConfig(capacity=config.expert_capacity))
-    static = static_ep_layout(topology.num_devices, config.num_experts,
-                              config.expert_capacity)
-    rows = []
-    for iteration in range(trace.num_iterations):
-        plans = planner.plan_iteration(trace.iteration(iteration))
-        plan = plans[0]
-        static_cost = cost_model.evaluate(
-            lite_route(trace.layer(iteration, 0), static, topology))
-        ideal = trace.layer(iteration, 0).sum() / topology.num_devices
-        rows.append({
-            "iteration": iteration,
-            "laer_rel_max_tokens": round(plan.cost.max_tokens / ideal, 3),
-            "static_rel_max_tokens": round(static_cost.max_tokens / ideal, 3),
-            "laer_layer_ms": round(plan.cost.total * 1000, 1),
-            "static_layer_ms": round(static_cost.total * 1000, 1),
-        })
-    print_report(format_table(rows, title="Planner vs static EP, per iteration"))
+    spec = _experiment_spec(args, warmup=0, name="plan")
+    rows = [{
+        "iteration": stats.iteration,
+        "laer_rel_max_tokens": round(stats.planned_rel_max_tokens, 3),
+        "static_rel_max_tokens": round(stats.static_rel_max_tokens, 3),
+        "laer_ms": round(stats.planned_ms, 1),
+        "static_ms": round(stats.static_ms, 1),
+    } for stats in run_planner_study(spec)]
+    print_report(format_table(
+        rows, title=f"Planner vs static EP, per iteration "
+                    f"(aggregated over {spec.workload.layers} MoE layers)"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.spec:
+        try:
+            spec = ExperimentSpec.load(args.spec)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot load spec {args.spec!r}: {error}",
+                  file=sys.stderr)
+            return 2
+    else:
+        spec = _experiment_spec(args, warmup=args.warmup, systems=args.systems,
+                                reference=args.reference, name=args.name)
+    if args.dump_spec:
+        if args.dump_spec == "-":
+            print(spec.to_json())
+            return 0
+        try:
+            path = spec.save(args.dump_spec)
+        except OSError as error:
+            print(f"error: cannot write spec to {args.dump_spec!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"Spec saved to {path}")
+        return 0
+    result = ExperimentRunner().run(spec)
+    _print_experiment(result)
+    if args.output:
+        try:
+            path = result.save(args.output)
+        except OSError as error:
+            print(f"error: cannot write result to {args.output!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"Result saved to {path}")
     return 0
 
 
 COMMANDS = {
     "models": cmd_models,
+    "systems": cmd_systems,
     "trace": cmd_trace,
     "compare": cmd_compare,
     "plan": cmd_plan,
+    "run": cmd_run,
 }
 
 

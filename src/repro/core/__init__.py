@@ -1,5 +1,9 @@
 """The paper's core contribution: FSEP and the load-balancing planner.
 
+(For running whole experiments on top of these primitives, use the
+declarative :mod:`repro.api` package -- spec, runner and serializable
+results.)
+
 Modules:
 
 * :mod:`repro.core.layout` -- the :class:`ExpertLayout` abstraction (which

@@ -9,8 +9,9 @@ trace) tuple into per-iteration times and component breakdowns:
 * :mod:`repro.sim.iteration` -- the per-iteration cost assembly: attention,
   token All-to-All, expert computation (after load balancing), parameter
   prefetch, gradient synchronisation and re-layout overheads.
-* :mod:`repro.sim.systems` -- the training-system configurations compared in
-  the paper (Megatron, FSDP+EP, FlexMoE, LAER-MoE, plus ablations).
+* :mod:`repro.sim.systems` -- the decorator-based registry of training
+  systems compared in the paper (Megatron, FSDP+EP, FlexMoE, LAER-MoE, plus
+  ablations as parameterized registry entries).
 * :mod:`repro.sim.engine` -- runs a system over a routing trace and aggregates
   throughput, breakdowns and balance statistics.
 """
@@ -19,8 +20,15 @@ from repro.sim.streams import StreamOp, StreamScheduler, StreamTimeline
 from repro.sim.iteration import IterationSimulator, IterationResult, LayerResult
 from repro.sim.systems import (
     SystemSpec,
+    SystemBuildContext,
+    RegisteredSystem,
     make_system,
     available_systems,
+    register_system,
+    register_system_variant,
+    unregister_system,
+    registered_system,
+    system_descriptions,
     choose_megatron_tp,
 )
 from repro.sim.engine import TrainingRunSimulator, RunResult
@@ -34,8 +42,15 @@ __all__ = [
     "IterationResult",
     "LayerResult",
     "SystemSpec",
+    "SystemBuildContext",
+    "RegisteredSystem",
     "make_system",
     "available_systems",
+    "register_system",
+    "register_system_variant",
+    "unregister_system",
+    "registered_system",
+    "system_descriptions",
     "choose_megatron_tp",
     "TrainingRunSimulator",
     "RunResult",

@@ -9,16 +9,29 @@ of the compared systems on a given model and cluster:
 * the communication-scheduling configuration (Fig. 5 optimisations);
 * the tensor-parallel degree of the attention layers (Megatron only).
 
-``make_system`` builds the specs for the systems evaluated in Fig. 8 / Fig. 10
-/ Fig. 12: ``megatron``, ``fsdp_ep``, ``fastermoe``, ``smartmoe``, ``prophet``,
+Systems are assembled through a decorator-based **registry**: each entry pairs
+a factory function with default parameters, so ablations are parameterised
+registry entries rather than string special-cases, and downstream code (or
+users) can add systems without editing this module::
+
+    from repro.sim.systems import SystemBuildContext, register_system
+
+    @register_system("my_system", description="my custom policy")
+    def _build_my_system(ctx: SystemBuildContext) -> SystemSpec:
+        return ctx.build(MyPolicy(*ctx.policy_args()))
+
+``make_system`` / ``available_systems`` remain the stable front door used by
+the CLI, the benchmarks and :mod:`repro.api`; they resolve every system --
+``megatron``, ``fsdp_ep``, ``fastermoe``, ``smartmoe``, ``prophet``,
 ``flexmoe``, ``laer``, ``oracle`` and the LAER ablations ``laer_pq_only``,
-``laer_even_only`` and ``laer_no_comm_opt``.
+``laer_even_only`` and ``laer_no_comm_opt`` -- through the registry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
 
 from repro.baselines import (
     FasterMoEPolicy,
@@ -55,23 +68,6 @@ class SystemSpec:
         self.policy.reset()
 
 
-def available_systems() -> List[str]:
-    """Names accepted by :func:`make_system`."""
-    return [
-        "megatron",
-        "fsdp_ep",
-        "fastermoe",
-        "smartmoe",
-        "prophet",
-        "flexmoe",
-        "laer",
-        "oracle",
-        "laer_pq_only",
-        "laer_even_only",
-        "laer_no_comm_opt",
-    ]
-
-
 def choose_megatron_tp(config: MoEModelConfig, topology: ClusterTopology,
                        tokens_per_device: int) -> int:
     """Pick the smallest attention TP degree that fits in device memory.
@@ -101,81 +97,292 @@ def _laer_tuner_config(variant: str) -> TunerConfig:
     return TunerConfig(num_candidates=2, use_priority_queue=True, use_even=True)
 
 
-def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
-                tokens_per_device: int,
-                activation_checkpointing: bool = False) -> SystemSpec:
-    """Instantiate one of the compared training systems.
+# ----------------------------------------------------------------------
+# System registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemBuildContext:
+    """Everything a system factory needs to assemble a :class:`SystemSpec`.
 
-    Args:
-        name: One of :func:`available_systems`.
+    The context carries the experiment inputs (model, cluster, batch size)
+    plus convenience helpers so factories stay declarative.
+
+    Attributes:
+        name: Registry name the system is being built under (becomes
+            ``SystemSpec.name``).
         config: Model configuration (Table 2 entry).
         topology: Cluster topology.
         tokens_per_device: Tokens per device per micro-batch.
         activation_checkpointing: Whether expert recomputation is enabled.
+    """
+
+    name: str
+    config: MoEModelConfig
+    topology: ClusterTopology
+    tokens_per_device: int
+    activation_checkpointing: bool = False
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def num_experts(self) -> int:
+        return self.config.num_experts
+
+    @property
+    def capacity(self) -> int:
+        return self.config.expert_capacity
+
+    @property
+    def expert_param_bytes(self) -> float:
+        return float(self.config.expert_param_bytes)
+
+    @property
+    def ep_size(self) -> int:
+        return max(1, self.num_experts // self.capacity)
+
+    def policy_args(self) -> tuple:
+        """Positional arguments shared by every load-balancing policy."""
+        return (self.topology, self.num_experts, self.capacity,
+                self.expert_param_bytes)
+
+    def cost_model(self) -> MoECostModel:
+        """Cost model for this (model, cluster, checkpointing) combination."""
+        return MoECostModel.from_model_config(
+            self.config, self.topology,
+            activation_checkpointing=self.activation_checkpointing)
+
+    # -- assembly -----------------------------------------------------------
+    def build(self, policy: LoadBalancingPolicy, paradigm: str = "fsep",
+              schedule: CommScheduleConfig | None = None, tp_size: int = 1,
+              ep_size: int | None = None) -> SystemSpec:
+        """Wire a policy and an iteration simulator into a :class:`SystemSpec`."""
+        simulator = IterationSimulator(
+            config=self.config,
+            topology=self.topology,
+            tokens_per_device=self.tokens_per_device,
+            paradigm=paradigm,
+            schedule=schedule if schedule is not None
+            else CommScheduleConfig.all_enabled(),
+            tp_size=tp_size,
+            ep_size=ep_size if ep_size is not None else self.ep_size,
+            activation_checkpointing=self.activation_checkpointing,
+        )
+        return SystemSpec(name=self.name, paradigm=paradigm, policy=policy,
+                          simulator=simulator, tp_size=tp_size,
+                          ep_size=simulator.ep_size)
+
+
+#: Signature of a registered system factory.
+SystemFactory = Callable[..., SystemSpec]
+
+
+@dataclass(frozen=True)
+class RegisteredSystem:
+    """One registry entry: a factory plus its bound default parameters."""
+
+    name: str
+    factory: SystemFactory
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def accepted_params(self) -> Optional[FrozenSet[str]]:
+        """Parameter names the factory accepts, or ``None`` for ``**kwargs``."""
+        params = list(inspect.signature(self.factory).parameters.values())[1:]
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+            return None
+        return frozenset(
+            p.name for p in params
+            if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                          inspect.Parameter.KEYWORD_ONLY))
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` for parameters the factory does not accept."""
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise ValueError(
+                f"system {self.name!r} does not accept parameter(s) {unknown}; "
+                f"accepted: {sorted(accepted)}")
+
+    def build(self, ctx: SystemBuildContext, **overrides: object) -> SystemSpec:
+        """Invoke the factory with the bound parameters (plus overrides)."""
+        merged = {**dict(self.params), **overrides}
+        self.check_params(merged)
+        return self.factory(ctx, **merged)
+
+
+_SYSTEM_REGISTRY: Dict[str, RegisteredSystem] = {}
+
+
+def register_system(name: str, *, description: str = "",
+                    override: bool = False,
+                    **params: object) -> Callable[[SystemFactory], SystemFactory]:
+    """Class/function decorator registering a system factory under ``name``.
+
+    Args:
+        name: Registry name (case-insensitive at lookup time).
+        description: One-line human-readable summary.
+        override: Allow replacing an existing entry (default: duplicate names
+            raise ``ValueError``).
+        **params: Default keyword parameters bound to the factory; callers of
+            :func:`make_system` may override them per build, and
+            :func:`register_system_variant` derives new entries from them.
+
+    Returns:
+        The decorator; the decorated factory is returned unchanged so it can
+        be registered under several names.
+    """
+    def decorator(factory: SystemFactory) -> SystemFactory:
+        _register(RegisteredSystem(name=name.lower(), factory=factory,
+                                   params=dict(params),
+                                   description=description),
+                  override=override)
+        return factory
+    return decorator
+
+
+def register_system_variant(name: str, base: str, *, description: str = "",
+                            override: bool = False,
+                            **params: object) -> RegisteredSystem:
+    """Register ``name`` as a parameterized variant of the ``base`` system.
+
+    The new entry reuses ``base``'s factory with ``params`` merged over the
+    base entry's defaults -- this is how the LAER ablations are expressed, and
+    how users can add ablations of their own without touching this module.
+    """
+    parent = registered_system(base)
+    entry = RegisteredSystem(name=name.lower(), factory=parent.factory,
+                             params={**dict(parent.params), **params},
+                             description=description or parent.description)
+    _register(entry, override=override)
+    return entry
+
+
+def _register(entry: RegisteredSystem, override: bool = False) -> None:
+    if not override and entry.name in _SYSTEM_REGISTRY:
+        raise ValueError(
+            f"system {entry.name!r} is already registered; pass override=True "
+            f"to replace it")
+    entry.check_params(entry.params)
+    _SYSTEM_REGISTRY[entry.name] = entry
+
+
+def unregister_system(name: str) -> None:
+    """Remove a registry entry (mainly for tests and interactive use)."""
+    _SYSTEM_REGISTRY.pop(name.lower(), None)
+
+
+def registered_system(name: str) -> RegisteredSystem:
+    """Look up a registry entry, raising ``ValueError`` for unknown names."""
+    try:
+        return _SYSTEM_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; available: {available_systems()}"
+        ) from None
+
+
+def system_descriptions() -> Dict[str, str]:
+    """Registry names mapped to their one-line descriptions."""
+    return {name: entry.description for name, entry in _SYSTEM_REGISTRY.items()}
+
+
+def available_systems() -> List[str]:
+    """Names accepted by :func:`make_system`, in registration order."""
+    return list(_SYSTEM_REGISTRY)
+
+
+def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
+                tokens_per_device: int,
+                activation_checkpointing: bool = False,
+                **overrides: object) -> SystemSpec:
+    """Instantiate one of the registered training systems.
+
+    Args:
+        name: One of :func:`available_systems` (case-insensitive).
+        config: Model configuration (Table 2 entry).
+        topology: Cluster topology.
+        tokens_per_device: Tokens per device per micro-batch.
+        activation_checkpointing: Whether expert recomputation is enabled.
+        **overrides: Per-build overrides of the entry's registered parameters
+            (e.g. ``make_system("laer", ..., comm_opt=False)``).
 
     Returns:
         A :class:`SystemSpec` with the policy and iteration simulator wired up.
     """
-    name = name.lower()
-    if name not in available_systems():
-        raise ValueError(
-            f"unknown system {name!r}; available: {available_systems()}")
+    entry = registered_system(name)
+    ctx = SystemBuildContext(name=entry.name, config=config, topology=topology,
+                             tokens_per_device=tokens_per_device,
+                             activation_checkpointing=activation_checkpointing)
+    return entry.build(ctx, **overrides)
 
-    num_experts = config.num_experts
-    capacity = config.expert_capacity
-    expert_param_bytes = float(config.expert_param_bytes)
-    ep_size = max(1, num_experts // capacity)
-    cost_model = MoECostModel.from_model_config(
-        config, topology, activation_checkpointing=activation_checkpointing)
-    schedule = CommScheduleConfig.all_enabled()
-    paradigm = "fsep"
-    tp_size = 1
 
-    if name == "megatron":
-        paradigm = "megatron"
-        tp_size = choose_megatron_tp(config, topology, tokens_per_device)
-        policy: LoadBalancingPolicy = StaticEPPolicy(
-            topology, num_experts, capacity, expert_param_bytes)
-    elif name == "fsdp_ep":
-        paradigm = "fsdp_ep"
-        policy = StaticEPPolicy(topology, num_experts, capacity, expert_param_bytes)
-    elif name == "fastermoe":
-        paradigm = "fsdp_ep"
-        policy = FasterMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
-    elif name == "smartmoe":
-        paradigm = "fsdp_ep"
-        policy = SmartMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
-    elif name == "prophet":
-        paradigm = "fsdp_ep"
-        policy = ProphetPolicy(topology, num_experts, capacity, expert_param_bytes)
-    elif name == "flexmoe":
-        policy = FlexMoEPolicy(topology, num_experts, capacity, expert_param_bytes)
-    elif name == "oracle":
-        policy = OracleBalancedPolicy(topology, num_experts, capacity,
-                                      expert_param_bytes, cost_model)
-    elif name == "laer_no_comm_opt":
-        schedule = CommScheduleConfig.none_enabled()
-        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
-                            cost_model, tuner_config=_laer_tuner_config("full"))
-    elif name == "laer_pq_only":
-        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
-                            cost_model, tuner_config=_laer_tuner_config("pq_only"))
-    elif name == "laer_even_only":
-        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
-                            cost_model, tuner_config=_laer_tuner_config("even_only"))
-    else:  # "laer"
-        policy = LAERPolicy(topology, num_experts, capacity, expert_param_bytes,
-                            cost_model, tuner_config=_laer_tuner_config("full"))
+# ----------------------------------------------------------------------
+# Built-in systems (registration order fixes ``available_systems`` order)
+# ----------------------------------------------------------------------
+@register_system("megatron",
+                 description="Megatron-LM: TP attention + static EP experts")
+def _build_megatron(ctx: SystemBuildContext) -> SystemSpec:
+    tp_size = choose_megatron_tp(ctx.config, ctx.topology, ctx.tokens_per_device)
+    return ctx.build(StaticEPPolicy(*ctx.policy_args()), paradigm="megatron",
+                     tp_size=tp_size)
 
-    simulator = IterationSimulator(
-        config=config,
-        topology=topology,
-        tokens_per_device=tokens_per_device,
-        paradigm=paradigm,
-        schedule=schedule,
-        tp_size=tp_size,
-        ep_size=ep_size,
-        activation_checkpointing=activation_checkpointing,
-    )
-    return SystemSpec(name=name, paradigm=paradigm, policy=policy,
-                      simulator=simulator, tp_size=tp_size, ep_size=ep_size)
+
+@register_system("fsdp_ep",
+                 description="FSDP attention + static expert parallelism")
+def _build_fsdp_ep(ctx: SystemBuildContext) -> SystemSpec:
+    return ctx.build(StaticEPPolicy(*ctx.policy_args()), paradigm="fsdp_ep")
+
+
+@register_system("fastermoe",
+                 description="FasterMoE: dynamic shadowing of hot experts")
+def _build_fastermoe(ctx: SystemBuildContext) -> SystemSpec:
+    return ctx.build(FasterMoEPolicy(*ctx.policy_args()), paradigm="fsdp_ep")
+
+
+@register_system("smartmoe",
+                 description="SmartMoE: offline+online expert placement search")
+def _build_smartmoe(ctx: SystemBuildContext) -> SystemSpec:
+    return ctx.build(SmartMoEPolicy(*ctx.policy_args()), paradigm="fsdp_ep")
+
+
+@register_system("prophet",
+                 description="Prophet: interval-based expert rebalancing")
+def _build_prophet(ctx: SystemBuildContext) -> SystemSpec:
+    return ctx.build(ProphetPolicy(*ctx.policy_args()), paradigm="fsdp_ep")
+
+
+@register_system("flexmoe",
+                 description="FlexMoE-style replication on the FSEP substrate")
+def _build_flexmoe(ctx: SystemBuildContext) -> SystemSpec:
+    return ctx.build(FlexMoEPolicy(*ctx.policy_args()))
+
+
+@register_system("laer", variant="full", comm_opt=True,
+                 description="LAER-MoE: FSEP + load-adaptive expert re-layout")
+def _build_laer(ctx: SystemBuildContext, variant: str = "full",
+                comm_opt: bool = True) -> SystemSpec:
+    schedule = (CommScheduleConfig.all_enabled() if comm_opt
+                else CommScheduleConfig.none_enabled())
+    policy = LAERPolicy(*ctx.policy_args(), ctx.cost_model(),
+                        tuner_config=_laer_tuner_config(variant))
+    return ctx.build(policy, schedule=schedule)
+
+
+@register_system("oracle",
+                 description="Perfectly balanced oracle (upper bound)")
+def _build_oracle(ctx: SystemBuildContext) -> SystemSpec:
+    policy = OracleBalancedPolicy(*ctx.policy_args(), ctx.cost_model())
+    return ctx.build(policy)
+
+
+register_system_variant(
+    "laer_pq_only", "laer", variant="pq_only",
+    description="LAER ablation: priority-queue replica scheme only")
+register_system_variant(
+    "laer_even_only", "laer", variant="even_only",
+    description="LAER ablation: even replica scheme only")
+register_system_variant(
+    "laer_no_comm_opt", "laer", comm_opt=False,
+    description="LAER ablation: Fig. 5 comm scheduling disabled")

@@ -1,0 +1,227 @@
+"""Tests for the declarative experiment API (specs, registry, runner)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    SystemSpec,
+    WorkloadSpec,
+    run_experiment,
+    run_planner_study,
+)
+from repro.baselines import StaticEPPolicy
+from repro.sim.engine import compare_systems
+from repro.sim.systems import (
+    available_systems,
+    make_system,
+    register_system,
+    register_system_variant,
+    unregister_system,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    """A fast 4-device experiment used throughout these tests."""
+    defaults = dict(
+        name="api-test",
+        cluster=ClusterSpec(num_nodes=1, devices_per_node=4),
+        workload=WorkloadSpec(tokens_per_device=2048, layers=2,
+                              iterations=3, warmup=1, seed=7),
+        systems=("fsdp_ep", "laer"),
+        reference="fsdp_ep",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecRoundTrip:
+    def test_default_spec_round_trips(self):
+        spec = ExperimentSpec()
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_custom_spec_round_trips_through_json(self):
+        spec = small_spec(systems=(
+            SystemSpec("laer"),
+            SystemSpec("laer", label="laer_raw", options={"comm_opt": False}),
+            "fsdp_ep",
+        ), reference="laer")
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        # The JSON itself is plain data (no repr round-tripping involved).
+        assert json.loads(spec.to_json())["reference"] == "laer"
+
+    def test_save_and_load(self, tmp_path):
+        spec = small_spec()
+        path = spec.save(tmp_path / "exp.json")
+        assert ExperimentSpec.load(path) == spec
+
+    def test_string_systems_normalised(self):
+        spec = small_spec(systems=("fsdp_ep", "laer"))
+        assert all(isinstance(s, SystemSpec) for s in spec.systems)
+        assert spec.system_keys == ("fsdp_ep", "laer")
+
+
+class TestSpecValidation:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExperimentSpec field"):
+            ExperimentSpec.from_dict({"nme": "typo"})
+
+    def test_unknown_nested_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown WorkloadSpec field"):
+            ExperimentSpec.from_dict({"workload": {"modle": "x"}})
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            WorkloadSpec(model="gpt-4")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            small_spec(systems=("deepspeed",))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate system label"):
+            small_spec(systems=("laer", "laer"))
+
+    def test_unknown_system_option_rejected_at_spec_load(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            SystemSpec("laer", options={"comm_op": False})  # typo of comm_opt
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            SystemSpec("fsdp_ep", options={"variant": "full"})
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(ValueError, match="at least one system"):
+            small_spec(systems=())
+
+    def test_invalid_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(iterations=0)
+
+
+class TestRegistry:
+    def test_all_builtin_systems_registered(self):
+        assert available_systems() == [
+            "megatron", "fsdp_ep", "fastermoe", "smartmoe", "prophet",
+            "flexmoe", "laer", "oracle", "laer_pq_only", "laer_even_only",
+            "laer_no_comm_opt",
+        ]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_system("laer")
+            def _factory(ctx):  # pragma: no cover - never invoked
+                raise AssertionError
+
+    def test_variant_of_unknown_base_rejected(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            register_system_variant("x", "no_such_base")
+
+    def test_variant_with_unknown_params_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            register_system_variant("laer_typo", "laer", comm_op=False)
+        assert "laer_typo" not in available_systems()
+
+    def test_unknown_override_rejected_at_build(self, small_topology,
+                                                mixtral_e8k2):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            make_system("laer", mixtral_e8k2, small_topology, 2048, bogus=1)
+
+    def test_user_registered_system_usable_from_spec(self, small_topology,
+                                                     mixtral_e8k2):
+        @register_system("custom_ep", description="registry test system")
+        def _build(ctx):
+            return ctx.build(StaticEPPolicy(*ctx.policy_args()),
+                             paradigm="fsdp_ep")
+
+        try:
+            built = make_system("custom_ep", mixtral_e8k2, small_topology, 2048)
+            assert built.name == "custom_ep"
+            assert built.paradigm == "fsdp_ep"
+            spec = small_spec(systems=("custom_ep",), reference="custom_ep")
+            result = ExperimentRunner().run(spec)
+            assert result.systems["custom_ep"].throughput > 0
+        finally:
+            unregister_system("custom_ep")
+        with pytest.raises(ValueError, match="unknown system"):
+            make_system("custom_ep", mixtral_e8k2, small_topology, 2048)
+
+    def test_registered_variant_matches_option_override(self, small_topology,
+                                                        mixtral_e8k2):
+        variant = make_system("laer_no_comm_opt", mixtral_e8k2,
+                              small_topology, 2048)
+        override = make_system("laer", mixtral_e8k2, small_topology, 2048,
+                               comm_opt=False)
+        assert (variant.simulator.schedule.relaxed_prefetch
+                == override.simulator.schedule.relaxed_prefetch is False)
+
+
+class TestRunner:
+    def test_throughputs_match_direct_compare_systems(self):
+        spec = small_spec()
+        result = ExperimentRunner().run(spec)
+
+        topology = spec.cluster.to_topology()
+        config = spec.workload.model_config()
+        trace = spec.workload.make_trace(topology.num_devices)
+        systems = [make_system(name, config, topology,
+                               spec.workload.tokens_per_device)
+                   for name in ("fsdp_ep", "laer")]
+        direct = compare_systems(systems, trace, warmup=spec.workload.warmup)
+
+        for name in ("fsdp_ep", "laer"):
+            assert result.systems[name].throughput == direct[name].throughput
+
+    def test_result_fields_and_speedups(self):
+        result = run_experiment(small_spec())
+        laer = result.systems["laer"]
+        assert laer.speedup_vs_reference == pytest.approx(
+            result.speedup("laer", "fsdp_ep"))
+        assert laer.mean_iteration_s > 0
+        assert len(laer.per_layer_relative_max_tokens) == 2
+        assert 0.0 <= laer.all_to_all_fraction() <= 1.0
+        assert sum(laer.breakdown_fractions().values()) == pytest.approx(
+            1.0, abs=0.05)
+
+    def test_result_json_round_trip(self, tmp_path):
+        result = run_experiment(small_spec())
+        path = result.save(tmp_path / "result.json")
+        restored = ExperimentResult.load(path)
+        assert restored.spec == result.spec
+        assert restored.reference == result.reference
+        assert restored.throughputs() == result.throughputs()
+        assert (restored.systems["laer"].breakdown_s
+                == result.systems["laer"].breakdown_s)
+
+    def test_reference_substitution_recorded(self):
+        result = run_experiment(small_spec(reference="megatron"))
+        assert result.requested_reference == "megatron"
+        assert result.reference == "fsdp_ep"
+        assert result.reference_substituted
+
+    def test_labelled_options_create_distinct_systems(self):
+        spec = small_spec(systems=(
+            SystemSpec("laer"),
+            SystemSpec("laer", label="laer_raw", options={"comm_opt": False}),
+        ), reference="laer")
+        result = run_experiment(spec)
+        assert set(result.systems) == {"laer", "laer_raw"}
+        assert (result.systems["laer"].throughput
+                > result.systems["laer_raw"].throughput)
+
+    def test_planner_study_aggregates_all_layers(self):
+        spec = small_spec()
+        stats = run_planner_study(spec)
+        # Warmup iterations are replayed but not reported, matching the runner.
+        assert len(stats) == spec.workload.iterations
+        assert stats[0].iteration == spec.workload.warmup
+        # Past warmup the planner beats (or matches) static EP.
+        assert stats[-1].planned_rel_max_tokens <= stats[-1].static_rel_max_tokens
+        assert stats[-1].planned_ms > 0

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import ExperimentResult, ExperimentSpec
 from repro.cli import build_parser, main
 
 
@@ -53,3 +54,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "speedup_vs_fsdp_ep" in out
         assert "Time breakdown" in out
+
+    def test_compare_warns_on_substituted_reference(self, capsys):
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "fsdp_ep", "laer",
+                     "--reference", "megatron"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "'megatron'" in captured.err
+        assert "'fsdp_ep'" in captured.err
+        assert "speedup_vs_fsdp_ep" in captured.out
+
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "laer_no_comm_opt" in out
+
+    def test_plan_aggregates_all_layers(self, capsys):
+        code = main(["plan", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "1024", "--iterations", "3",
+                     "--layers", "3"])
+        assert code == 0
+        assert "aggregated over 3 MoE layers" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    ARGS = ["--num-nodes", "1", "--devices-per-node", "4",
+            "--tokens-per-device", "2048", "--iterations", "3",
+            "--systems", "fsdp_ep", "laer", "--reference", "fsdp_ep"]
+
+    def test_dump_spec_and_run_match_compare(self, tmp_path, capsys):
+        spec_path = tmp_path / "exp.json"
+        assert main(["run", *self.ARGS, "--dump-spec", str(spec_path)]) == 0
+        assert spec_path.exists()
+        capsys.readouterr()
+
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        run_out = capsys.readouterr().out
+        assert main(["compare", *self.ARGS]) == 0
+        compare_out = capsys.readouterr().out
+        assert run_out == compare_out
+
+    def test_dump_spec_to_stdout(self, capsys):
+        assert main(["run", *self.ARGS, "--dump-spec", "-"]) == 0
+        out = capsys.readouterr().out
+        spec = ExperimentSpec.from_json(out)
+        assert spec.system_keys == ("fsdp_ep", "laer")
+
+    def test_run_saves_result(self, tmp_path, capsys):
+        result_path = tmp_path / "result.json"
+        assert main(["run", *self.ARGS, "--output", str(result_path)]) == 0
+        result = ExperimentResult.load(result_path)
+        assert result.reference == "fsdp_ep"
+        assert result.systems["laer"].throughput > 0
