@@ -1,0 +1,94 @@
+"""Scenario execution benchmark: sequential vs parallel multi-system runs.
+
+Times an 8-system comparison (every paper system plus the oracle) over one
+streaming scenario source, executed sequentially and then in parallel worker
+processes, and records the wall-clocks to ``BENCH_scenarios.json`` at the
+repository root -- the baseline for tracking the comparison engine's
+throughput across PRs.  The parallel path must reproduce the sequential
+numbers exactly (each system consumes its own deterministic source fork);
+the speedup itself depends on the host's core count, so it is recorded but
+not asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis.reporting import format_table, print_report
+from repro.sim.engine import compare_systems
+from repro.sim.systems import make_system
+from repro.workloads.model_configs import get_model_config
+from repro.workloads.scenarios import ScenarioContext, make_scenario
+
+from conftest import BENCH_WARMUP, TOKENS_PER_DEVICE
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+#: All eight systems of the paper's comparison (baselines + LAER + oracle).
+SYSTEMS = ("megatron", "fsdp_ep", "fastermoe", "smartmoe", "prophet",
+           "flexmoe", "laer", "oracle")
+SCENARIO = "bursty-churn"
+ITERATIONS = 6
+
+
+def _build(paper_cluster):
+    config = get_model_config("mixtral-8x7b-e8k2")
+    context = ScenarioContext(
+        num_devices=paper_cluster.num_devices,
+        num_experts=config.num_experts,
+        num_layers=2,
+        tokens_per_device=TOKENS_PER_DEVICE,
+        top_k=config.top_k,
+        iterations=ITERATIONS + BENCH_WARMUP,
+        seed=303,
+    )
+    source = make_scenario(SCENARIO, context)
+    systems = [make_system(name, config, paper_cluster, TOKENS_PER_DEVICE)
+               for name in SYSTEMS]
+    return systems, source
+
+
+def _timed_compare(paper_cluster, parallel):
+    systems, source = _build(paper_cluster)
+    start = time.perf_counter()
+    runs = compare_systems(systems, source, warmup=BENCH_WARMUP,
+                           parallel=parallel)
+    elapsed = time.perf_counter() - start
+    return elapsed, {name: runs[name].throughput for name in SYSTEMS}
+
+
+def test_bench_scenarios_sequential_vs_parallel(benchmark, paper_cluster):
+    sequential_s, sequential = benchmark.pedantic(
+        _timed_compare, args=(paper_cluster, False), rounds=1, iterations=1)
+    parallel_s, parallel = _timed_compare(paper_cluster, True)
+
+    # Parallel execution must not change a single reported number.
+    assert parallel == sequential
+
+    record = {
+        "scenario": SCENARIO,
+        "systems": list(SYSTEMS),
+        "iterations": ITERATIONS,
+        "warmup": BENCH_WARMUP,
+        "num_devices": paper_cluster.num_devices,
+        "cpu_count": os.cpu_count(),
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(sequential_s / parallel_s, 3),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    rows = [{"mode": "sequential", "wall_clock_s": record["sequential_s"]},
+            {"mode": "parallel", "wall_clock_s": record["parallel_s"]}]
+    print_report(
+        format_table(rows, title=f"8-system comparison wall-clock "
+                                 f"({SCENARIO}, {os.cpu_count()} CPUs)"),
+        f"Recorded to {RESULT_PATH.name} "
+        f"(parallel speedup {record['parallel_speedup']}x)")
+
+    # Sanity: the comparison itself produced meaningful results.
+    assert all(value > 0 for value in sequential.values())
+    assert sequential["laer"] > sequential["fsdp_ep"]

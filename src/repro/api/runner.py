@@ -208,15 +208,32 @@ class ExperimentResult:
 
 
 class ExperimentRunner:
-    """Execute experiment specs: trace -> systems -> simulation -> analysis.
+    """Execute experiment specs: scenario -> systems -> simulation -> analysis.
+
+    The workload is materialised lazily: the spec's scenario is built once
+    into a streaming :class:`~repro.workloads.scenarios.TraceSource` and each
+    system consumes its own deterministic fork, which is what lets the
+    (independent) systems execute in parallel worker processes without
+    changing any reported number.
 
     The runner is stateless between :meth:`run` calls except for
     ``last_runs``, which retains the most recent raw
     :class:`~repro.sim.engine.RunResult` objects for callers that need
     per-iteration detail beyond the serializable summary.
+
+    Args:
+        parallel: Execute the spec's systems concurrently via
+            :mod:`concurrent.futures` (default).  Results are identical to
+            sequential execution; infrastructure failures fall back to the
+            sequential path with a warning.
+        max_workers: Worker-process cap for the parallel path (default:
+            executor default, i.e. the CPU count).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, parallel: bool = True,
+                 max_workers: Optional[int] = None) -> None:
+        self.parallel = parallel
+        self.max_workers = max_workers
         self.last_runs: Dict[str, RunResult] = {}
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
@@ -234,7 +251,7 @@ class ExperimentRunner:
         """
         topology = spec.cluster.to_topology()
         config = spec.workload.model_config()
-        trace = spec.workload.make_trace(topology.num_devices)
+        source = spec.workload.make_source(topology.num_devices)
 
         systems = []
         for system_spec in spec.systems:
@@ -246,7 +263,9 @@ class ExperimentRunner:
             built.name = system_spec.key
             systems.append(built)
 
-        runs = compare_systems(systems, trace, warmup=spec.workload.warmup)
+        runs = compare_systems(systems, source, warmup=spec.workload.warmup,
+                               parallel=self.parallel,
+                               max_workers=self.max_workers)
         self.last_runs = runs
 
         reference = (spec.reference if spec.reference in runs
@@ -263,9 +282,11 @@ class ExperimentRunner:
                                 systems=results)
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+def run_experiment(spec: ExperimentSpec, parallel: bool = True,
+                   max_workers: Optional[int] = None) -> ExperimentResult:
     """Convenience wrapper: run ``spec`` with a fresh :class:`ExperimentRunner`."""
-    return ExperimentRunner().run(spec)
+    return ExperimentRunner(parallel=parallel,
+                            max_workers=max_workers).run(spec)
 
 
 # ----------------------------------------------------------------------

@@ -36,7 +36,12 @@ from repro.workloads.model_configs import (
 from repro.workloads.routing_traces import (
     RoutingTrace,
     RoutingTraceConfig,
-    SyntheticRoutingTraceGenerator,
+)
+from repro.workloads.scenarios import (
+    ScenarioContext,
+    TraceSource,
+    make_scenario,
+    registered_scenario,
 )
 
 
@@ -117,7 +122,7 @@ class ClusterSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Declarative description of the workload: model + synthetic trace.
+    """Declarative description of the workload: model + routing scenario.
 
     Attributes:
         model: Table 2 model-configuration name
@@ -132,6 +137,12 @@ class WorkloadSpec:
         churn_prob: Probability per iteration of a hot-expert reshuffle.
         device_noise: Relative per-device multiplicative routing noise.
         seed: PRNG seed of the trace generator.
+        scenario: Name of a registered routing scenario
+            (:func:`repro.workloads.scenarios.available_scenarios`); the
+            default ``drifting`` reproduces the historical synthetic trace.
+        params: Scenario-specific keyword parameters (e.g. ``{"period": 20}``
+            for ``bursty-churn``); values must be JSON-safe.  Unknown names
+            are rejected at spec-construction time.
     """
 
     model: str = "mixtral-8x7b-e8k2"
@@ -144,6 +155,8 @@ class WorkloadSpec:
     churn_prob: float = 0.0
     device_noise: float = 0.05
     seed: int = 0
+    scenario: str = "drifting"
+    params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.model not in list_model_configs():
@@ -163,6 +176,15 @@ class WorkloadSpec:
             raise ValueError("drift and device_noise must be non-negative")
         if not 0.0 <= self.churn_prob <= 1.0:
             raise ValueError("churn_prob must be a probability")
+        object.__setattr__(self, "params", dict(self.params))
+        for key in self.params:
+            if not isinstance(key, str):
+                raise ValueError("scenario parameter names must be strings")
+        # Raises ValueError for unknown scenarios / parameters so spec typos
+        # fail at load time, not mid-run.
+        entry = registered_scenario(self.scenario)
+        object.__setattr__(self, "scenario", entry.name)
+        entry.check_params(self.params)
 
     def model_config(self) -> MoEModelConfig:
         """Look up the model configuration named by the spec."""
@@ -170,24 +192,33 @@ class WorkloadSpec:
 
     def trace_config(self, num_devices: int) -> RoutingTraceConfig:
         """Trace-generator configuration for a cluster of ``num_devices``."""
+        return self.scenario_context(num_devices).trace_config()
+
+    def scenario_context(self, num_devices: int) -> ScenarioContext:
+        """Scenario build context for a cluster of ``num_devices``."""
         config = self.model_config()
-        return RoutingTraceConfig(
+        return ScenarioContext(
             num_devices=num_devices,
             num_experts=config.num_experts,
             num_layers=self.layers,
             tokens_per_device=self.tokens_per_device,
             top_k=config.top_k,
+            iterations=self.iterations + self.warmup,
+            seed=self.seed,
             skew=self.skew,
             drift=self.drift,
             churn_prob=self.churn_prob,
             device_noise=self.device_noise,
-            seed=self.seed,
         )
 
+    def make_source(self, num_devices: int) -> TraceSource:
+        """Build the scenario's streaming trace source (warmup included)."""
+        return make_scenario(self.scenario, self.scenario_context(num_devices),
+                             **self.params)
+
     def make_trace(self, num_devices: int) -> RoutingTrace:
-        """Generate the routing trace (warmup + measured iterations)."""
-        generator = SyntheticRoutingTraceGenerator(self.trace_config(num_devices))
-        return generator.generate(self.iterations + self.warmup)
+        """Materialise the routing trace (warmup + measured iterations)."""
+        return self.make_source(num_devices).materialize()
 
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)

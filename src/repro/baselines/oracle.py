@@ -29,6 +29,10 @@ class OracleBalancedPolicy(LoadBalancingPolicy):
         self.tuner = ExpertLayoutTuner(topology, cost_model, capacity,
                                        tuner_config or TunerConfig())
 
+    def reset(self) -> None:
+        super().reset()
+        self.tuner.reset()
+
     def decide_layer(self, layer: int, routing: np.ndarray) -> PolicyDecision:
         routing = np.asarray(routing, dtype=np.int64)
         result = self.tuner.solve(routing)

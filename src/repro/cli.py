@@ -4,10 +4,11 @@ Provides quick access to the most common workflows without writing Python:
 
 * ``repro models`` -- print the Table 2 model registry;
 * ``repro systems`` -- print the registered training systems;
+* ``repro scenarios`` -- print the registered routing scenarios;
 * ``repro trace`` -- generate (and optionally save) a synthetic routing trace
   and print its summary statistics;
 * ``repro compare`` -- simulate the compared training systems on a
-  model/cluster/trace combination and print throughput, speedups and the
+  model/cluster/scenario combination and print throughput, speedups and the
   time breakdown;
 * ``repro plan`` -- run the load-balancing planner over a trace and print
   per-iteration balance (aggregated over all MoE layers) against the static
@@ -16,17 +17,26 @@ Provides quick access to the most common workflows without writing Python:
   either loaded from a JSON file (``--spec exp.json``) or assembled from the
   command-line flags; ``--dump-spec`` writes the spec instead of running it.
 
-Every simulation flows through :class:`repro.api.ExperimentRunner`, so
-``repro compare`` and ``repro run`` on an equivalent spec produce identical
-numbers.  (``python -m repro.cli`` works too; the ``repro`` console script is
-installed by the package metadata.)
+Workloads are scenarios: ``run``, ``compare``, ``plan`` and ``trace`` accept
+``--scenario`` (any name from ``repro scenarios``) plus repeatable
+``--param key=value`` scenario knobs, e.g.::
+
+    repro compare --scenario bursty-churn --param period=20
+
+Every simulation flows through :class:`repro.api.ExperimentRunner`, which
+executes the compared systems in parallel worker processes by default
+(``--sequential`` disables this), so ``repro compare`` and ``repro run`` on
+an equivalent spec produce identical numbers.  (``python -m repro.cli``
+works too; the ``repro`` console script is installed by the package
+metadata.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_table, print_report
 from repro.api import (
@@ -39,6 +49,7 @@ from repro.api import (
 )
 from repro.sim.systems import available_systems, system_descriptions
 from repro.workloads.model_configs import get_model_config, list_model_configs
+from repro.workloads.scenarios import available_scenarios, scenario_descriptions
 from repro.workloads.trace_io import save_trace, summarize_trace
 
 
@@ -50,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list the Table 2 model configurations")
     sub.add_parser("systems", help="list the registered training systems")
+    sub.add_parser("scenarios", help="list the registered routing scenarios")
 
     trace = sub.add_parser("trace", help="generate a synthetic routing trace")
     _add_common_workload_args(trace)
@@ -90,6 +102,9 @@ def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
                         default=["megatron", "fsdp_ep", "flexmoe", "laer"],
                         choices=available_systems())
     parser.add_argument("--reference", type=str, default="megatron")
+    parser.add_argument("--sequential", action="store_true",
+                        help="simulate the systems one after another instead "
+                             "of in parallel worker processes")
 
 
 def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +116,28 @@ def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--skew", type=float, default=0.45)
     parser.add_argument("--layers", type=int, default=2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", type=str, default="drifting",
+                        choices=available_scenarios(),
+                        help="routing scenario (see 'repro scenarios')")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="scenario parameter override, repeatable "
+                             "(e.g. --param period=20)")
+
+
+def _scenario_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` flags (values as JSON, else str)."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"invalid scenario parameter {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def _experiment_spec(args: argparse.Namespace, warmup: int,
@@ -118,7 +155,9 @@ def _experiment_spec(args: argparse.Namespace, warmup: int,
                               iterations=args.iterations,
                               warmup=warmup,
                               skew=args.skew,
-                              seed=args.seed),
+                              seed=args.seed,
+                              scenario=args.scenario,
+                              params=_scenario_params(args.param)),
         systems=tuple(systems) if systems else ("laer",),
         reference=reference,
     )
@@ -152,12 +191,47 @@ def cmd_systems(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenarios(_: argparse.Namespace) -> int:
+    rows = [{"scenario": name, "description": description}
+            for name, description in scenario_descriptions().items()]
+    print_report(format_table(rows, title="Registered routing scenarios"))
+    return 0
+
+
+def _spec_or_error(args: argparse.Namespace, warmup: int,
+                   systems: Optional[Sequence[str]] = None,
+                   reference: str = "megatron",
+                   name: str = "experiment") -> Optional[ExperimentSpec]:
+    """Assemble a spec, reporting scenario/parameter problems as a CLI error."""
+    try:
+        spec = _experiment_spec(args, warmup=warmup, systems=systems,
+                                reference=reference, name=name)
+        _check_scenario_buildable(spec)
+        return spec
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _check_scenario_buildable(spec: ExperimentSpec) -> None:
+    """Build (but don't consume) the scenario source to validate param values.
+
+    Spec construction rejects unknown scenario/parameter *names*; value
+    errors (e.g. ``--param period=1``) only surface when the source is
+    constructed, so do that eagerly -- sources are lazy, no frames are drawn.
+    """
+    spec.workload.make_source(spec.cluster.num_devices)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
-    spec = _experiment_spec(args, warmup=0)
+    spec = _spec_or_error(args, warmup=0)
+    if spec is None:
+        return 2
     trace = spec.workload.make_trace(spec.cluster.num_devices)
     summary = summarize_trace(trace)
     print_report(format_table([summary.as_dict()],
-                              title="Routing trace summary"))
+                              title=f"Routing trace summary "
+                                    f"({spec.workload.scenario})"))
     if args.output:
         path = save_trace(trace, args.output)
         print(f"Trace saved to {path}")
@@ -165,14 +239,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    spec = _experiment_spec(args, warmup=args.warmup, systems=args.systems,
-                            reference=args.reference, name="compare")
-    _print_experiment(ExperimentRunner().run(spec))
+    spec = _spec_or_error(args, warmup=args.warmup, systems=args.systems,
+                          reference=args.reference, name="compare")
+    if spec is None:
+        return 2
+    runner = ExperimentRunner(parallel=not args.sequential)
+    _print_experiment(runner.run(spec))
     return 0
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    spec = _experiment_spec(args, warmup=0, name="plan")
+    spec = _spec_or_error(args, warmup=0, name="plan")
+    if spec is None:
+        return 2
     rows = [{
         "iteration": stats.iteration,
         "laer_rel_max_tokens": round(stats.planned_rel_max_tokens, 3),
@@ -190,13 +269,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.spec:
         try:
             spec = ExperimentSpec.load(args.spec)
+            _check_scenario_buildable(spec)
         except (OSError, ValueError, KeyError, TypeError) as error:
             print(f"error: cannot load spec {args.spec!r}: {error}",
                   file=sys.stderr)
             return 2
     else:
-        spec = _experiment_spec(args, warmup=args.warmup, systems=args.systems,
-                                reference=args.reference, name=args.name)
+        spec = _spec_or_error(args, warmup=args.warmup, systems=args.systems,
+                              reference=args.reference, name=args.name)
+        if spec is None:
+            return 2
     if args.dump_spec:
         if args.dump_spec == "-":
             print(spec.to_json())
@@ -209,7 +291,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         print(f"Spec saved to {path}")
         return 0
-    result = ExperimentRunner().run(spec)
+    result = ExperimentRunner(parallel=not args.sequential).run(spec)
     _print_experiment(result)
     if args.output:
         try:
@@ -225,6 +307,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 COMMANDS = {
     "models": cmd_models,
     "systems": cmd_systems,
+    "scenarios": cmd_scenarios,
     "trace": cmd_trace,
     "compare": cmd_compare,
     "plan": cmd_plan,

@@ -92,6 +92,15 @@ class ExpertLayoutTuner:
         self.config = config or TunerConfig()
         self._rng = np.random.default_rng(self.config.perturbation_seed)
 
+    def reset(self) -> None:
+        """Re-seed the perturbation stream so repeated runs are identical.
+
+        The tuner consumes ``_rng`` whenever ``num_candidates`` exceeds the
+        analytic schemes; without re-seeding, two back-to-back runs of the
+        same system would draw different perturbation candidates.
+        """
+        self._rng = np.random.default_rng(self.config.perturbation_seed)
+
     # ------------------------------------------------------------------
     def candidate_replica_schemes(self, expert_loads: np.ndarray,
                                   num_experts: int) -> List[np.ndarray]:

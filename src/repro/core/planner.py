@@ -198,6 +198,7 @@ class LoadBalancingPlanner:
         return plans
 
     def reset(self) -> None:
-        """Clear all history and pending layouts (e.g. between experiments)."""
+        """Clear all history, pending layouts and the tuner's random stream."""
         self._history.clear()
         self._pending_layouts.clear()
+        self.tuner.reset()

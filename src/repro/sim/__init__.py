@@ -31,7 +31,7 @@ from repro.sim.systems import (
     system_descriptions,
     choose_megatron_tp,
 )
-from repro.sim.engine import TrainingRunSimulator, RunResult
+from repro.sim.engine import TrainingRunSimulator, RunResult, compare_systems
 from repro.sim.timeline import ForwardTimeline, build_forward_timeline, format_timeline
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "choose_megatron_tp",
     "TrainingRunSimulator",
     "RunResult",
+    "compare_systems",
     "ForwardTimeline",
     "build_forward_timeline",
     "format_timeline",

@@ -31,6 +31,25 @@ from repro.workloads.routing_traces import (
     routing_from_assignments,
 )
 from repro.workloads.trace_io import save_trace, load_trace, summarize_trace, TraceSummary
+from repro.workloads.scenarios import (
+    BurstyChurnTraceSource,
+    DiurnalTraceSource,
+    FileTraceSource,
+    MixtureTraceSource,
+    PhaseShiftTraceSource,
+    RegisteredScenario,
+    ScenarioContext,
+    StragglerTraceSource,
+    SyntheticTraceSource,
+    TraceSource,
+    as_trace_source,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    registered_scenario,
+    scenario_descriptions,
+    unregister_scenario,
+)
 from repro.workloads.datasets import (
     SyntheticTextDataset,
     DatasetConfig,
@@ -58,6 +77,23 @@ __all__ = [
     "load_trace",
     "summarize_trace",
     "TraceSummary",
+    "TraceSource",
+    "SyntheticTraceSource",
+    "FileTraceSource",
+    "BurstyChurnTraceSource",
+    "DiurnalTraceSource",
+    "PhaseShiftTraceSource",
+    "StragglerTraceSource",
+    "MixtureTraceSource",
+    "ScenarioContext",
+    "RegisteredScenario",
+    "register_scenario",
+    "registered_scenario",
+    "unregister_scenario",
+    "make_scenario",
+    "available_scenarios",
+    "scenario_descriptions",
+    "as_trace_source",
     "SyntheticTextDataset",
     "DatasetConfig",
     "WIKITEXT_LIKE",

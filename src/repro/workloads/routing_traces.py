@@ -117,6 +117,22 @@ class RoutingTrace:
         """Return the ``(num_layers, N, E)`` routing of iteration ``it``."""
         return self.routing[it]
 
+    # -- TraceSource protocol ------------------------------------------
+    # A materialized trace is also a streaming source, so the simulation
+    # engine and the scenario machinery treat both interchangeably.
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        """Yield every ``(num_layers, N, E)`` routing frame in order."""
+        for it in range(self.num_iterations):
+            yield self.routing[it]
+
+    def fork(self) -> "RoutingTrace":
+        """Return an independent view of the trace (immutable, so ``self``)."""
+        return self
+
+    def materialize(self) -> "RoutingTrace":
+        """A trace is already materialized."""
+        return self
+
     def layer(self, it: int, layer: int) -> np.ndarray:
         """Return the ``(N, E)`` routing matrix of one layer of one iteration."""
         return self.routing[it, layer]
@@ -191,6 +207,33 @@ class RoutingTrace:
                             tokens_per_device=int(out[0, 0].sum(axis=1).max()))
 
 
+def draw_routing_frame(rng: np.random.Generator, probs_by_layer: np.ndarray,
+                       config: RoutingTraceConfig) -> np.ndarray:
+    """Draw one ``(layers, N, E)`` routing frame from per-layer popularities.
+
+    The single multinomial-draw implementation shared by the synthetic
+    generator and every scenario source in :mod:`repro.workloads.scenarios`:
+    each device perturbs the shared popularity with lognormal noise
+    (different data shards disagree slightly) and draws a multinomial over
+    experts.  Keeping one code path is what guarantees scenarios built on
+    the same popularity schedule stay bit-identical across refactors.
+    """
+    assignments = config.tokens_per_device * config.top_k
+    out = np.zeros((config.num_layers, config.num_devices, config.num_experts),
+                   dtype=np.int64)
+    for layer in range(config.num_layers):
+        probs = probs_by_layer[layer]
+        for dev in range(config.num_devices):
+            if config.device_noise > 0:
+                noisy = probs * rng.lognormal(
+                    0.0, config.device_noise, size=config.num_experts)
+                noisy = noisy / noisy.sum()
+            else:
+                noisy = probs
+            out[layer, dev] = rng.multinomial(assignments, noisy)
+    return out
+
+
 @dataclass
 class SyntheticRoutingTraceGenerator:
     """Generates synthetic skewed, drifting routing traces.
@@ -235,18 +278,9 @@ class SyntheticRoutingTraceGenerator:
     def next_iteration(self) -> np.ndarray:
         """Generate the routing ``(num_layers, N, E)`` of the next iteration."""
         cfg = self.config
-        assignments = cfg.tokens_per_device * cfg.top_k
-        out = np.zeros((cfg.num_layers, cfg.num_devices, cfg.num_experts), dtype=np.int64)
-        for layer in range(cfg.num_layers):
-            probs = self._layer_probs(layer)
-            for dev in range(cfg.num_devices):
-                if cfg.device_noise > 0:
-                    noisy = probs * self._rng.lognormal(
-                        0.0, cfg.device_noise, size=cfg.num_experts)
-                    noisy = noisy / noisy.sum()
-                else:
-                    noisy = probs
-                out[layer, dev] = self._rng.multinomial(assignments, noisy)
+        probs = np.stack([self._layer_probs(layer)
+                          for layer in range(cfg.num_layers)])
+        out = draw_routing_frame(self._rng, probs, cfg)
         self._step_logits()
         return out
 

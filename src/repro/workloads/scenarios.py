@@ -1,0 +1,752 @@
+"""Scenario API: pluggable streaming trace sources and the scenario registry.
+
+The paper's claims rest on how systems behave under *diverse, drifting*
+routing workloads (Fig. 1a), so the workload layer is organised around two
+first-class concepts:
+
+* :class:`TraceSource` -- the protocol every workload implements: lazy,
+  per-iteration ``(layers, N, E)`` routing matrices plus the metadata the
+  engine needs (`tokens_per_device`, `top_k`, shapes).  Sources are *value
+  objects*: ``iter_iterations()`` restarts deterministically on every call
+  and ``fork()`` produces an independent copy, so several systems (or worker
+  processes) can consume the same workload and see bit-identical matrices.
+  :class:`repro.workloads.routing_traces.RoutingTrace` satisfies the protocol
+  too, so fully-materialized traces and streaming sources are interchangeable
+  everywhere.
+* the **scenario registry** -- a decorator-based registry (mirroring the
+  system registry in :mod:`repro.sim.systems`) that maps scenario names to
+  source factories.  Experiments reference scenarios by name from
+  :class:`repro.api.WorkloadSpec`; users register new scenarios without
+  editing this module::
+
+      from repro.workloads.scenarios import ScenarioContext, register_scenario
+
+      @register_scenario("my-scenario", description="custom workload")
+      def _build(ctx: ScenarioContext, knob: float = 1.0) -> TraceSource:
+          return SyntheticTraceSource(ctx.trace_config(skew=knob), ctx.iterations)
+
+Built-in scenarios: ``steady``, ``drifting`` (the historical default),
+``bursty-churn``, ``diurnal``, ``phase-shift``, ``straggler`` and
+``multi-tenant-mix``.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.workloads.routing_traces import (
+    RoutingTrace,
+    RoutingTraceConfig,
+    SyntheticRoutingTraceGenerator,
+    draw_routing_frame,
+)
+from repro.workloads.trace_io import load_trace
+
+
+# ----------------------------------------------------------------------
+# The TraceSource protocol
+# ----------------------------------------------------------------------
+@runtime_checkable
+class TraceSource(Protocol):
+    """Anything that can feed routing matrices to the simulation engine.
+
+    Implementations must behave like value objects: ``iter_iterations()``
+    restarts from the beginning (with the same pseudo-random stream) on every
+    call, and ``fork()`` returns an independent source producing the same
+    matrices -- this is what makes parallel multi-system execution
+    deterministic.
+    """
+
+    @property
+    def num_iterations(self) -> int: ...
+
+    @property
+    def num_layers(self) -> int: ...
+
+    @property
+    def num_devices(self) -> int: ...
+
+    @property
+    def num_experts(self) -> int: ...
+
+    @property
+    def tokens_per_device(self) -> int: ...
+
+    @property
+    def top_k(self) -> int: ...
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        """Yield the ``(num_layers, N, E)`` routing of every iteration in order."""
+        ...
+
+    def fork(self) -> "TraceSource":
+        """Return an independent source yielding the same matrices."""
+        ...
+
+    def materialize(self) -> RoutingTrace:
+        """Fully realise the source as a :class:`RoutingTrace`."""
+        ...
+
+
+class TraceSourceBase:
+    """Shared behaviour of the concrete sources (fork + materialize)."""
+
+    def fork(self) -> "TraceSource":
+        return copy.deepcopy(self)
+
+    def materialize(self) -> RoutingTrace:
+        frames = list(self.iter_iterations())
+        if not frames:
+            raise ValueError("cannot materialize an empty trace source")
+        return RoutingTrace(routing=np.stack(frames, axis=0),
+                            top_k=self.top_k,
+                            tokens_per_device=self.tokens_per_device)
+
+    # Subclasses provide the metadata and the iterator.
+    def iter_iterations(self) -> Iterator[np.ndarray]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _dirichlet_probs(rng: np.random.Generator,
+                     config: RoutingTraceConfig) -> np.ndarray:
+    """Draw a ``(layers, E)`` popularity matrix from the config's skew."""
+    return rng.dirichlet([config.skew] * config.num_experts,
+                         size=config.num_layers)
+
+
+# ----------------------------------------------------------------------
+# Concrete sources
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticTraceSource(TraceSourceBase):
+    """Streaming view of the skewed / drifting synthetic generator.
+
+    Wraps :class:`SyntheticRoutingTraceGenerator`: every ``iter_iterations``
+    call builds a fresh generator from the config, so the stream is
+    restartable and deterministic, and ``materialize()`` is bit-identical to
+    ``SyntheticRoutingTraceGenerator(config).generate(n)``.
+    """
+
+    config: RoutingTraceConfig
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    @property
+    def num_iterations(self) -> int:
+        return self.iterations
+
+    @property
+    def num_layers(self) -> int:
+        return self.config.num_layers
+
+    @property
+    def num_devices(self) -> int:
+        return self.config.num_devices
+
+    @property
+    def num_experts(self) -> int:
+        return self.config.num_experts
+
+    @property
+    def tokens_per_device(self) -> int:
+        return self.config.tokens_per_device
+
+    @property
+    def top_k(self) -> int:
+        return self.config.top_k
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        generator = SyntheticRoutingTraceGenerator(self.config)
+        for _ in range(self.iterations):
+            yield generator.next_iteration()
+
+
+class FileTraceSource(TraceSourceBase):
+    """Lazily loaded ``.npz`` routing trace (written by ``save_trace``).
+
+    The file is read on first access, not at construction, so specs that
+    reference trace files stay cheap to build, and forks shipped to worker
+    processes carry only the path.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._trace: Optional[RoutingTrace] = None
+
+    def _loaded(self) -> RoutingTrace:
+        if self._trace is None:
+            self._trace = load_trace(self.path)
+        return self._trace
+
+    @property
+    def num_iterations(self) -> int:
+        return self._loaded().num_iterations
+
+    @property
+    def num_layers(self) -> int:
+        return self._loaded().num_layers
+
+    @property
+    def num_devices(self) -> int:
+        return self._loaded().num_devices
+
+    @property
+    def num_experts(self) -> int:
+        return self._loaded().num_experts
+
+    @property
+    def tokens_per_device(self) -> int:
+        return self._loaded().tokens_per_device
+
+    @property
+    def top_k(self) -> int:
+        return self._loaded().top_k
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        yield from self._loaded().iter_iterations()
+
+    def fork(self) -> "FileTraceSource":
+        return FileTraceSource(self.path)
+
+    def materialize(self) -> RoutingTrace:
+        return self._loaded()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Workers re-read from disk; keep pickles path-sized.
+        return {"path": self.path}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.path = state["path"]  # type: ignore[assignment]
+        self._trace = None
+
+    def __repr__(self) -> str:
+        return f"FileTraceSource({str(self.path)!r})"
+
+
+@dataclass(frozen=True)
+class BurstyChurnTraceSource(TraceSourceBase):
+    """Calm drift punctuated by bursts of complete hotspot churn.
+
+    Between bursts the popularity logits random-walk with the config's
+    ``drift``; during the last ``burst_length`` iterations of every
+    ``period`` the whole popularity distribution is re-drawn each iteration
+    (abrupt hotspot reshuffles, the hardest regime for one-step-lagged
+    adaptive planners).
+    """
+
+    config: RoutingTraceConfig
+    iterations: int
+    period: int = 12
+    burst_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.period < 2:
+            raise ValueError("period must be at least 2")
+        if not 1 <= self.burst_length < self.period:
+            raise ValueError("burst_length must be in [1, period)")
+
+    num_iterations = property(lambda self: self.iterations)
+    num_layers = property(lambda self: self.config.num_layers)
+    num_devices = property(lambda self: self.config.num_devices)
+    num_experts = property(lambda self: self.config.num_experts)
+    tokens_per_device = property(lambda self: self.config.tokens_per_device)
+    top_k = property(lambda self: self.config.top_k)
+
+    def in_burst(self, iteration: int) -> bool:
+        return iteration % self.period >= self.period - self.burst_length
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        probs = _dirichlet_probs(rng, config)
+        logits = np.log(np.maximum(probs, 1e-9))
+        for iteration in range(self.iterations):
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(shifted)
+            probs = probs / probs.sum(axis=1, keepdims=True)
+            yield draw_routing_frame(rng, probs, config)
+            if self.in_burst(iteration + 1):
+                logits = np.log(np.maximum(_dirichlet_probs(rng, config), 1e-9))
+            else:
+                logits = logits + rng.normal(0.0, config.drift,
+                                             size=logits.shape)
+
+
+@dataclass(frozen=True)
+class DiurnalTraceSource(TraceSourceBase):
+    """Popularity oscillating between a "day" and a "night" profile.
+
+    Two skewed popularity profiles are drawn once; every iteration mixes
+    them with a sinusoidal weight of the given period, modelling the daily
+    topic cycle of serving-style traffic.  Hot experts therefore migrate
+    smoothly but *predictably* -- the friendliest drifting regime.
+    """
+
+    config: RoutingTraceConfig
+    iterations: int
+    period: int = 16
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.period < 2:
+            raise ValueError("period must be at least 2")
+
+    num_iterations = property(lambda self: self.iterations)
+    num_layers = property(lambda self: self.config.num_layers)
+    num_devices = property(lambda self: self.config.num_devices)
+    num_experts = property(lambda self: self.config.num_experts)
+    tokens_per_device = property(lambda self: self.config.tokens_per_device)
+    top_k = property(lambda self: self.config.top_k)
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        day = _dirichlet_probs(rng, config)
+        night = _dirichlet_probs(rng, config)
+        for iteration in range(self.iterations):
+            weight = 0.5 * (1.0 - np.cos(2.0 * np.pi * iteration / self.period))
+            probs = (1.0 - weight) * day + weight * night
+            probs = probs / probs.sum(axis=1, keepdims=True)
+            yield draw_routing_frame(rng, probs, config)
+
+
+@dataclass(frozen=True)
+class PhaseShiftTraceSource(TraceSourceBase):
+    """Piecewise-stationary popularity: distinct regimes switching abruptly.
+
+    The trace is divided into phases of ``phase_length`` iterations; each
+    phase has its own independently drawn popularity profile (deterministic
+    in the seed and the phase index).  Within a phase the distribution is
+    stationary, so adaptive systems converge, then get yanked to a new
+    regime -- the workload SPEC-style suites use to probe phase behaviour.
+    """
+
+    config: RoutingTraceConfig
+    iterations: int
+    phase_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if self.phase_length < 1:
+            raise ValueError("phase_length must be at least 1")
+
+    num_iterations = property(lambda self: self.iterations)
+    num_layers = property(lambda self: self.config.num_layers)
+    num_devices = property(lambda self: self.config.num_devices)
+    num_experts = property(lambda self: self.config.num_experts)
+    tokens_per_device = property(lambda self: self.config.tokens_per_device)
+    top_k = property(lambda self: self.config.top_k)
+
+    def phase_probs(self, phase: int) -> np.ndarray:
+        """The ``(layers, E)`` popularity of one phase (seed + phase keyed)."""
+        phase_rng = np.random.default_rng([self.config.seed, 1 + phase])
+        return _dirichlet_probs(phase_rng, self.config)
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        draw_rng = np.random.default_rng([self.config.seed, 0])
+        probs = self.phase_probs(0)
+        current_phase = 0
+        for iteration in range(self.iterations):
+            phase = iteration // self.phase_length
+            if phase != current_phase:
+                probs = self.phase_probs(phase)
+                current_phase = phase
+            yield draw_routing_frame(draw_rng, probs, self.config)
+
+
+@dataclass(frozen=True)
+class StragglerTraceSource(TraceSourceBase):
+    """Recurring device failures: shards drop out and their load spreads.
+
+    Wraps any inner source; during the first ``duration`` iterations of
+    every ``period``, ``num_failed`` devices (rotating across windows) stop
+    contributing tokens and their per-expert counts are redistributed evenly
+    across the surviving devices -- the global expert load is preserved but
+    the device-level distribution spikes, as it does when a data shard's
+    host fails or straggles.
+    """
+
+    inner: TraceSource
+    period: int = 6
+    duration: int = 2
+    num_failed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period < 2:
+            raise ValueError("period must be at least 2")
+        if not 1 <= self.duration < self.period:
+            raise ValueError("duration must be in [1, period)")
+        if not 1 <= self.num_failed < self.inner.num_devices:
+            raise ValueError(
+                "num_failed must leave at least one surviving device")
+
+    num_iterations = property(lambda self: self.inner.num_iterations)
+    num_layers = property(lambda self: self.inner.num_layers)
+    num_devices = property(lambda self: self.inner.num_devices)
+    num_experts = property(lambda self: self.inner.num_experts)
+    tokens_per_device = property(lambda self: self.inner.tokens_per_device)
+    top_k = property(lambda self: self.inner.top_k)
+
+    def failed_devices(self, iteration: int) -> List[int]:
+        """Devices down at ``iteration`` (empty outside failure windows)."""
+        if iteration % self.period >= self.duration:
+            return []
+        window = iteration // self.period
+        n = self.num_devices
+        return [(window + offset) % n for offset in range(self.num_failed)]
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        for iteration, frame in enumerate(self.inner.fork().iter_iterations()):
+            failed = self.failed_devices(iteration)
+            if not failed:
+                yield frame
+                continue
+            frame = np.array(frame, dtype=np.int64, copy=True)
+            survivors = [d for d in range(self.num_devices) if d not in failed]
+            lost = frame[:, failed, :].sum(axis=1)  # (layers, E)
+            frame[:, failed, :] = 0
+            base = lost // len(survivors)
+            remainder = lost % len(survivors)
+            for index, device in enumerate(survivors):
+                frame[:, device, :] += base + (remainder > index)
+            yield frame
+
+
+@dataclass(frozen=True)
+class MixtureTraceSource(TraceSourceBase):
+    """Sum of several tenant workloads sharing the cluster.
+
+    Every iteration is the element-wise sum of the component sources'
+    routing matrices, modelling multiple tenants (each with its own skew,
+    drift and seed) multiplexed onto one device fleet.  Components must
+    agree on ``(layers, N, E)`` shape and ``top_k``; ``tokens_per_device``
+    is the sum of the tenants' budgets.
+    """
+
+    components: Tuple[TraceSource, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) < 2:
+            raise ValueError("a mixture needs at least two component sources")
+        head = self.components[0]
+        for component in self.components[1:]:
+            same_shape = (component.num_layers == head.num_layers
+                          and component.num_devices == head.num_devices
+                          and component.num_experts == head.num_experts)
+            if not same_shape or component.top_k != head.top_k:
+                raise ValueError(
+                    "mixture components must share (layers, N, E) and top_k")
+
+    num_layers = property(lambda self: self.components[0].num_layers)
+    num_devices = property(lambda self: self.components[0].num_devices)
+    num_experts = property(lambda self: self.components[0].num_experts)
+    top_k = property(lambda self: self.components[0].top_k)
+
+    @property
+    def num_iterations(self) -> int:
+        return min(c.num_iterations for c in self.components)
+
+    @property
+    def tokens_per_device(self) -> int:
+        return sum(c.tokens_per_device for c in self.components)
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        iterators = [c.fork().iter_iterations() for c in self.components]
+        for _ in range(self.num_iterations):
+            yield sum(next(it) for it in iterators)
+
+
+# ----------------------------------------------------------------------
+# Scenario registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioContext:
+    """Workload inputs every scenario factory receives.
+
+    Mirrors :class:`repro.sim.systems.SystemBuildContext`: the experiment
+    describes *what* cluster/model/budget it runs on, the scenario decides
+    *how* the routing behaves over time.
+
+    Attributes:
+        num_devices: Number of devices ``N``.
+        num_experts: Number of experts ``E`` per MoE layer.
+        num_layers: Number of MoE layers carried by the trace.
+        tokens_per_device: Tokens per device per micro-batch.
+        top_k: Experts selected per token.
+        iterations: Total iterations the source must provide (including any
+            warmup the runner replays).
+        seed: Base PRNG seed.
+        skew: Dirichlet concentration of the expert popularity.
+        drift: Per-iteration random-walk magnitude of the popularity logits.
+        churn_prob: Per-iteration probability of a hot-expert reshuffle
+            (used by scenarios that model random churn).
+        device_noise: Relative per-device multiplicative routing noise.
+    """
+
+    num_devices: int
+    num_experts: int
+    num_layers: int
+    tokens_per_device: int
+    top_k: int
+    iterations: int
+    seed: int = 0
+    skew: float = 0.45
+    drift: float = 0.08
+    churn_prob: float = 0.0
+    device_noise: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ValueError("iterations must be positive")
+
+    def trace_config(self, **overrides: object) -> RoutingTraceConfig:
+        """Build a :class:`RoutingTraceConfig` from the context (+ overrides)."""
+        kwargs: Dict[str, object] = dict(
+            num_devices=self.num_devices,
+            num_experts=self.num_experts,
+            num_layers=self.num_layers,
+            tokens_per_device=self.tokens_per_device,
+            top_k=self.top_k,
+            skew=self.skew,
+            drift=self.drift,
+            churn_prob=self.churn_prob,
+            device_noise=self.device_noise,
+            seed=self.seed,
+        )
+        kwargs.update(overrides)
+        return RoutingTraceConfig(**kwargs)  # type: ignore[arg-type]
+
+
+#: Signature of a registered scenario factory.
+ScenarioFactory = Callable[..., TraceSource]
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One registry entry: a factory plus its bound default parameters."""
+
+    name: str
+    factory: ScenarioFactory
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def accepted_params(self) -> Optional[FrozenSet[str]]:
+        """Parameter names the factory accepts, or ``None`` for ``**kwargs``."""
+        params = list(inspect.signature(self.factory).parameters.values())[1:]
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+            return None
+        return frozenset(
+            p.name for p in params
+            if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                          inspect.Parameter.KEYWORD_ONLY))
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` for parameters the factory does not accept."""
+        accepted = self.accepted_params()
+        if accepted is None:
+            return
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r} does not accept parameter(s) "
+                f"{unknown}; accepted: {sorted(accepted)}")
+
+    def build(self, ctx: ScenarioContext, **overrides: object) -> TraceSource:
+        """Invoke the factory with the bound parameters (plus overrides)."""
+        merged = {**dict(self.params), **overrides}
+        self.check_params(merged)
+        return self.factory(ctx, **merged)
+
+
+_SCENARIO_REGISTRY: Dict[str, RegisteredScenario] = {}
+
+
+def register_scenario(name: str, *, description: str = "",
+                      override: bool = False,
+                      **params: object) -> Callable[[ScenarioFactory],
+                                                    ScenarioFactory]:
+    """Decorator registering a scenario factory under ``name``.
+
+    Args:
+        name: Registry name (case-insensitive at lookup time).
+        description: One-line human-readable summary (``repro scenarios``).
+        override: Allow replacing an existing entry.
+        **params: Default keyword parameters bound to the factory; spec
+            ``params`` and :func:`make_scenario` callers may override them.
+    """
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        _register(RegisteredScenario(name=name.lower(), factory=factory,
+                                     params=dict(params),
+                                     description=description),
+                  override=override)
+        return factory
+    return decorator
+
+
+def _register(entry: RegisteredScenario, override: bool = False) -> None:
+    if not override and entry.name in _SCENARIO_REGISTRY:
+        raise ValueError(
+            f"scenario {entry.name!r} is already registered; pass "
+            f"override=True to replace it")
+    entry.check_params(entry.params)
+    _SCENARIO_REGISTRY[entry.name] = entry
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registry entry (mainly for tests and interactive use)."""
+    _SCENARIO_REGISTRY.pop(name.lower(), None)
+
+
+def registered_scenario(name: str) -> RegisteredScenario:
+    """Look up a registry entry, raising ``ValueError`` for unknown names."""
+    try:
+        return _SCENARIO_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """Registry names mapped to their one-line descriptions."""
+    return {name: entry.description
+            for name, entry in _SCENARIO_REGISTRY.items()}
+
+
+def available_scenarios() -> List[str]:
+    """Names accepted by :func:`make_scenario`, in registration order."""
+    return list(_SCENARIO_REGISTRY)
+
+
+def make_scenario(name: str, ctx: ScenarioContext,
+                  **overrides: object) -> TraceSource:
+    """Instantiate one of the registered scenarios.
+
+    Args:
+        name: One of :func:`available_scenarios` (case-insensitive).
+        ctx: Workload context (cluster size, model shape, budget, seed).
+        **overrides: Per-build overrides of the entry's registered parameters
+            (e.g. ``make_scenario("bursty-churn", ctx, period=20)``).
+    """
+    return registered_scenario(name).build(ctx, **overrides)
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios (registration order fixes ``available_scenarios`` order)
+# ----------------------------------------------------------------------
+@register_scenario(
+    "steady",
+    description="fixed skewed popularity; no drift, no churn")
+def _build_steady(ctx: ScenarioContext) -> TraceSource:
+    return SyntheticTraceSource(
+        ctx.trace_config(drift=0.0, churn_prob=0.0), ctx.iterations)
+
+
+@register_scenario(
+    "drifting",
+    description="skewed popularity with random-walk drift (historical default)")
+def _build_drifting(ctx: ScenarioContext) -> TraceSource:
+    return SyntheticTraceSource(ctx.trace_config(), ctx.iterations)
+
+
+@register_scenario(
+    "bursty-churn", period=12, burst_length=3,
+    description="calm drift punctuated by bursts of complete hotspot churn")
+def _build_bursty_churn(ctx: ScenarioContext, period: int = 12,
+                        burst_length: int = 3) -> TraceSource:
+    return BurstyChurnTraceSource(ctx.trace_config(churn_prob=0.0),
+                                  ctx.iterations, period=period,
+                                  burst_length=burst_length)
+
+
+@register_scenario(
+    "diurnal", period=16,
+    description="popularity oscillates between day and night profiles")
+def _build_diurnal(ctx: ScenarioContext, period: int = 16) -> TraceSource:
+    return DiurnalTraceSource(ctx.trace_config(drift=0.0, churn_prob=0.0),
+                              ctx.iterations, period=period)
+
+
+@register_scenario(
+    "phase-shift", phase_length=8,
+    description="piecewise-stationary regimes switching abruptly")
+def _build_phase_shift(ctx: ScenarioContext,
+                       phase_length: int = 8) -> TraceSource:
+    return PhaseShiftTraceSource(ctx.trace_config(drift=0.0, churn_prob=0.0),
+                                 ctx.iterations, phase_length=phase_length)
+
+
+@register_scenario(
+    "straggler", period=6, duration=2, num_failed=1,
+    description="recurring device failures redistribute shard load")
+def _build_straggler(ctx: ScenarioContext, period: int = 6,
+                     duration: int = 2, num_failed: int = 1) -> TraceSource:
+    inner = SyntheticTraceSource(ctx.trace_config(), ctx.iterations)
+    return StragglerTraceSource(inner, period=period, duration=duration,
+                                num_failed=num_failed)
+
+
+@register_scenario(
+    "multi-tenant-mix", tenants=2,
+    description="sum of tenant workloads with different skews and seeds")
+def _build_multi_tenant_mix(ctx: ScenarioContext,
+                            tenants: int = 2) -> TraceSource:
+    if tenants < 2:
+        raise ValueError("multi-tenant-mix needs at least 2 tenants")
+    if ctx.tokens_per_device < tenants:
+        raise ValueError("tokens_per_device must be at least the tenant count")
+    base = ctx.tokens_per_device // tenants
+    budgets = [base] * tenants
+    budgets[0] += ctx.tokens_per_device - base * tenants
+    components = []
+    for tenant, budget in enumerate(budgets):
+        skew = max(0.05, ctx.skew * (0.5 ** tenant))
+        components.append(SyntheticTraceSource(
+            ctx.trace_config(tokens_per_device=budget, skew=skew,
+                             seed=ctx.seed + 7919 * tenant),
+            ctx.iterations))
+    return MixtureTraceSource(tuple(components))
+
+
+def as_trace_source(workload: Union[TraceSource, RoutingTrace,
+                                    Sequence[np.ndarray]]) -> TraceSource:
+    """Coerce a workload into a :class:`TraceSource`.
+
+    Accepts any object already satisfying the protocol (including
+    :class:`RoutingTrace`); bare sequences of ``(layers, N, E)`` frames are
+    wrapped in a materialized trace for convenience.
+    """
+    if isinstance(workload, TraceSource):
+        return workload
+    frames = [np.asarray(frame) for frame in workload]
+    # Per-device token budget: worst per-device count over the (layers, N, E)
+    # frame, i.e. sum over the expert axis.
+    trace = RoutingTrace(routing=np.stack(frames, axis=0), top_k=1,
+                         tokens_per_device=int(frames[0].sum(axis=2).max()))
+    return trace

@@ -23,6 +23,7 @@ from repro.sim.systems import (
     register_system_variant,
     unregister_system,
 )
+from repro.workloads.scenarios import available_scenarios
 
 
 def small_spec(**overrides) -> ExperimentSpec:
@@ -65,6 +66,34 @@ class TestSpecRoundTrip:
         assert all(isinstance(s, SystemSpec) for s in spec.systems)
         assert spec.system_keys == ("fsdp_ep", "laer")
 
+    @pytest.mark.parametrize("scenario", available_scenarios())
+    def test_every_scenario_round_trips_through_json(self, scenario):
+        spec = small_spec(workload=WorkloadSpec(
+            tokens_per_device=2048, layers=2, iterations=3, warmup=1,
+            seed=7, scenario=scenario))
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.workload.scenario == scenario
+
+    def test_scenario_params_round_trip(self):
+        spec = small_spec(workload=WorkloadSpec(
+            tokens_per_device=2048, layers=2, iterations=3, warmup=1,
+            scenario="bursty-churn", params={"period": 20, "burst_length": 4}))
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.workload.params == {"period": 20, "burst_length": 4}
+        assert json.loads(spec.to_json())["workload"]["scenario"] \
+            == "bursty-churn"
+
+    def test_pre_scenario_spec_json_still_loads(self):
+        """Old (PR 1 era) spec JSON has no scenario/params keys."""
+        legacy = ExperimentSpec().to_dict()
+        del legacy["workload"]["scenario"]
+        del legacy["workload"]["params"]
+        spec = ExperimentSpec.from_dict(legacy)
+        assert spec.workload.scenario == "drifting"
+        assert spec.workload.params == {}
+
 
 class TestSpecValidation:
     def test_unknown_field_rejected(self):
@@ -104,6 +133,16 @@ class TestSpecValidation:
     def test_invalid_workload_rejected(self):
         with pytest.raises(ValueError):
             WorkloadSpec(iterations=0)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            WorkloadSpec(scenario="full-moon")
+
+    def test_unknown_scenario_param_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            WorkloadSpec(scenario="bursty-churn", params={"burst_len": 2})
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            WorkloadSpec(scenario="steady", params={"period": 4})
 
 
 class TestRegistry:
@@ -215,6 +254,30 @@ class TestRunner:
         assert set(result.systems) == {"laer", "laer_raw"}
         assert (result.systems["laer"].throughput
                 > result.systems["laer_raw"].throughput)
+
+    def test_parallel_and_sequential_runners_agree(self):
+        spec = small_spec(systems=("megatron", "fsdp_ep", "flexmoe", "laer"))
+        parallel = ExperimentRunner(parallel=True).run(spec)
+        sequential = ExperimentRunner(parallel=False).run(spec)
+        assert parallel.throughputs() == sequential.throughputs()
+        for key in spec.system_keys:
+            assert (parallel.systems[key].breakdown_s
+                    == sequential.systems[key].breakdown_s)
+            assert (parallel.systems[key].per_layer_relative_max_tokens
+                    == sequential.systems[key].per_layer_relative_max_tokens)
+
+    def test_runner_executes_non_default_scenario(self):
+        spec = small_spec(workload=WorkloadSpec(
+            tokens_per_device=2048, layers=2, iterations=4, warmup=1, seed=7,
+            scenario="multi-tenant-mix", params={"tenants": 2}))
+        result = run_experiment(spec)
+        drifting = run_experiment(small_spec(workload=WorkloadSpec(
+            tokens_per_device=2048, layers=2, iterations=4, warmup=1,
+            seed=7)))
+        assert result.systems["laer"].throughput > 0
+        # A different scenario genuinely changes the simulated workload.
+        assert (result.systems["laer"].throughput
+                != drifting.systems["laer"].throughput)
 
     def test_planner_study_aggregates_all_layers(self):
         spec = small_spec()

@@ -72,6 +72,72 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "laer_no_comm_opt" in out
 
+    def test_scenarios_lists_builtins(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("steady", "drifting", "bursty-churn", "diurnal",
+                     "phase-shift", "straggler", "multi-tenant-mix"):
+            assert name in out
+
+    def test_compare_with_scenario_and_params(self, capsys):
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "fsdp_ep", "laer",
+                     "--reference", "fsdp_ep",
+                     "--scenario", "bursty-churn", "--param", "period=6"])
+        assert code == 0
+        assert "speedup_vs_fsdp_ep" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--scenario", "full-moon"])
+
+    def test_bad_scenario_param_is_a_cli_error(self, capsys):
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "laer", "--reference", "laer",
+                     "--scenario", "steady", "--param", "bogus=1"])
+        assert code == 2
+        assert "does not accept parameter" in capsys.readouterr().err
+
+    def test_bad_scenario_param_value_is_a_cli_error(self, capsys):
+        """Value errors (not just name typos) get the clean error path."""
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "laer", "--reference", "laer",
+                     "--scenario", "bursty-churn", "--param", "period=1"])
+        assert code == 2
+        assert "period must be at least 2" in capsys.readouterr().err
+
+    def test_bad_scenario_param_value_in_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        assert main(["run", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "laer", "--reference", "laer",
+                     "--scenario", "straggler", "--dump-spec",
+                     str(spec_path)]) == 0
+        capsys.readouterr()
+        text = spec_path.read_text().replace('"params": {}',
+                                             '"params": {"duration": 99}')
+        spec_path.write_text(text)
+        assert main(["run", "--spec", str(spec_path)]) == 2
+        assert "duration must be in" in capsys.readouterr().err
+
+    def test_malformed_param_is_a_cli_error(self, capsys):
+        code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "2048", "--iterations", "3",
+                     "--systems", "laer", "--reference", "laer",
+                     "--param", "no-equals-sign"])
+        assert code == 2
+        assert "expected KEY=VALUE" in capsys.readouterr().err
+
+    def test_trace_reports_scenario(self, capsys):
+        code = main(["trace", "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "512", "--iterations", "3",
+                     "--scenario", "diurnal"])
+        assert code == 0
+        assert "(diurnal)" in capsys.readouterr().out
+
     def test_plan_aggregates_all_layers(self, capsys):
         code = main(["plan", "--num-nodes", "1", "--devices-per-node", "4",
                      "--tokens-per-device", "1024", "--iterations", "3",
@@ -102,6 +168,21 @@ class TestRunCommand:
         out = capsys.readouterr().out
         spec = ExperimentSpec.from_json(out)
         assert spec.system_keys == ("fsdp_ep", "laer")
+
+    def test_dump_spec_carries_scenario_params(self, capsys):
+        code = main(["run", *self.ARGS, "--scenario", "multi-tenant-mix",
+                     "--param", "tenants=3", "--dump-spec", "-"])
+        assert code == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.workload.scenario == "multi-tenant-mix"
+        assert spec.workload.params == {"tenants": 3}
+
+    def test_run_scenario_matches_sequential(self, capsys):
+        args = ["run", *self.ARGS, "--scenario", "bursty-churn"]
+        assert main(args) == 0
+        parallel_out = capsys.readouterr().out
+        assert main([*args, "--sequential"]) == 0
+        assert capsys.readouterr().out == parallel_out
 
     def test_run_saves_result(self, tmp_path, capsys):
         result_path = tmp_path / "result.json"

@@ -109,3 +109,16 @@ class TestSolve:
     def test_capacity_validation(self, small_topology, small_cost_model):
         with pytest.raises(ValueError):
             ExpertLayoutTuner(small_topology, small_cost_model, capacity=0)
+
+
+class TestReset:
+    def test_reset_reseeds_perturbation_stream(self, small_topology,
+                                               small_cost_model):
+        """After reset(), the tuner draws the same perturbation candidates."""
+        tuner = ExpertLayoutTuner(small_topology, small_cost_model, 2,
+                                  TunerConfig(num_candidates=5))
+        routing = skewed_routing(seed=4)
+        first = [tuner.solve(routing).candidate_costs for _ in range(3)]
+        tuner.reset()
+        second = [tuner.solve(routing).candidate_costs for _ in range(3)]
+        assert first == second

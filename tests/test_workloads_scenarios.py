@@ -1,0 +1,251 @@
+"""Tests for the Scenario API: trace sources and the scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.routing_traces import (
+    RoutingTraceConfig,
+    SyntheticRoutingTraceGenerator,
+)
+from repro.workloads.scenarios import (
+    BurstyChurnTraceSource,
+    FileTraceSource,
+    MixtureTraceSource,
+    ScenarioContext,
+    StragglerTraceSource,
+    SyntheticTraceSource,
+    TraceSource,
+    as_trace_source,
+    available_scenarios,
+    make_scenario,
+    register_scenario,
+    registered_scenario,
+    scenario_descriptions,
+    unregister_scenario,
+)
+from repro.workloads.trace_io import save_trace
+
+CTX = ScenarioContext(num_devices=4, num_experts=8, num_layers=2,
+                      tokens_per_device=512, top_k=2, iterations=8, seed=5)
+
+
+class TestRegistry:
+    def test_at_least_six_builtins(self):
+        names = available_scenarios()
+        assert len(names) >= 6
+        for expected in ("steady", "drifting", "bursty-churn", "diurnal",
+                         "phase-shift", "straggler", "multi-tenant-mix"):
+            assert expected in names
+
+    def test_descriptions_cover_every_scenario(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) == set(available_scenarios())
+        assert all(descriptions.values())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            registered_scenario("no-such-scenario")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("no-such-scenario", CTX)
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            make_scenario("steady", CTX, bogus=1)
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            make_scenario("bursty-churn", CTX, burst_len=2)
+
+    def test_bad_param_value_rejected(self):
+        with pytest.raises(ValueError):
+            make_scenario("bursty-churn", CTX, period=1)
+        with pytest.raises(ValueError):
+            make_scenario("straggler", CTX, num_failed=CTX.num_devices)
+        with pytest.raises(ValueError):
+            make_scenario("multi-tenant-mix", CTX, tenants=1)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_scenario("steady")
+            def _factory(ctx):  # pragma: no cover - never invoked
+                raise AssertionError
+
+    def test_user_registered_scenario(self):
+        @register_scenario("custom-steady", description="registry test")
+        def _build(ctx, skew_override=0.3):
+            return SyntheticTraceSource(
+                ctx.trace_config(drift=0.0, churn_prob=0.0,
+                                 skew=skew_override), ctx.iterations)
+
+        try:
+            source = make_scenario("custom-steady", CTX, skew_override=0.2)
+            frames = list(source.iter_iterations())
+            assert len(frames) == CTX.iterations
+        finally:
+            unregister_scenario("custom-steady")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("custom-steady", CTX)
+
+    def test_lookup_is_case_insensitive(self):
+        assert registered_scenario("STEADY").name == "steady"
+
+
+class TestBuiltinSources:
+    @pytest.mark.parametrize("name", [
+        "steady", "drifting", "bursty-churn", "diurnal", "phase-shift",
+        "straggler", "multi-tenant-mix",
+    ])
+    def test_shapes_dtype_and_token_conservation(self, name):
+        source = make_scenario(name, CTX)
+        assert isinstance(source, TraceSource)
+        assert source.num_iterations == CTX.iterations
+        assert (source.num_layers, source.num_devices, source.num_experts) \
+            == (CTX.num_layers, CTX.num_devices, CTX.num_experts)
+        assert source.tokens_per_device == CTX.tokens_per_device
+        assert source.top_k == CTX.top_k
+        expected_total = (CTX.num_devices * CTX.tokens_per_device * CTX.top_k)
+        frames = list(source.iter_iterations())
+        assert len(frames) == CTX.iterations
+        for frame in frames:
+            assert frame.shape == (CTX.num_layers, CTX.num_devices,
+                                   CTX.num_experts)
+            assert frame.dtype == np.int64
+            assert (frame >= 0).all()
+            # Global token count is conserved per layer in every scenario.
+            assert (frame.sum(axis=(1, 2)) == expected_total).all()
+
+    @pytest.mark.parametrize("name", [
+        "steady", "drifting", "bursty-churn", "diurnal", "phase-shift",
+        "straggler", "multi-tenant-mix",
+    ])
+    def test_restartable_fork_and_materialize_agree(self, name):
+        source = make_scenario(name, CTX)
+        first = list(source.iter_iterations())
+        second = list(source.iter_iterations())          # restartable
+        forked = list(source.fork().iter_iterations())   # independent copy
+        trace = source.materialize()
+        assert trace.num_iterations == CTX.iterations
+        for it in range(CTX.iterations):
+            assert np.array_equal(first[it], second[it])
+            assert np.array_equal(first[it], forked[it])
+            assert np.array_equal(first[it], trace.iteration(it))
+
+    def test_seed_changes_the_stream(self):
+        a = make_scenario("drifting", CTX)
+        b = make_scenario("drifting", ScenarioContext(
+            num_devices=4, num_experts=8, num_layers=2, tokens_per_device=512,
+            top_k=2, iterations=8, seed=6))
+        assert not all(np.array_equal(x, y) for x, y in
+                       zip(a.iter_iterations(), b.iter_iterations()))
+
+    def test_drifting_matches_legacy_generator(self):
+        """The default scenario reproduces the historical synthetic trace."""
+        config = CTX.trace_config()
+        legacy = SyntheticRoutingTraceGenerator(config).generate(CTX.iterations)
+        source = make_scenario("drifting", CTX)
+        assert np.array_equal(source.materialize().routing, legacy.routing)
+
+    def test_steady_popularity_is_stationary(self):
+        source = make_scenario("steady", CTX)
+        frames = list(source.iter_iterations())
+        # Expert popularity shares stay close across iterations (only
+        # multinomial sampling noise, no drift of the underlying profile).
+        shares = [f[0].sum(axis=0) / f[0].sum() for f in frames]
+        spread = np.abs(shares[0] - shares[-1]).max()
+        assert spread < 0.05
+
+    def test_bursty_churn_reshuffles_inside_bursts(self):
+        source = BurstyChurnTraceSource(CTX.trace_config(drift=0.0),
+                                        iterations=12, period=6,
+                                        burst_length=2)
+        frames = list(source.iter_iterations())
+        hottest = [int(np.argmax(f[0].sum(axis=0))) for f in frames]
+        calm = [hottest[it] for it in range(12) if not source.in_burst(it)]
+        # With zero drift the calm phases keep a stable hotspot per regime;
+        # the trace still changes hotspot identity at least once overall.
+        assert len(set(hottest)) > 1
+        assert len(calm) > len(set(calm))
+
+    def test_straggler_windows_zero_failed_devices(self):
+        inner = SyntheticTraceSource(CTX.trace_config(), CTX.iterations)
+        source = StragglerTraceSource(inner, period=4, duration=1,
+                                      num_failed=1)
+        frames = list(source.iter_iterations())
+        inner_frames = list(inner.iter_iterations())
+        for it, frame in enumerate(frames):
+            failed = source.failed_devices(it)
+            if failed:
+                assert (frame[:, failed, :] == 0).all()
+                # Global expert load is preserved through redistribution.
+                assert np.array_equal(frame.sum(axis=1),
+                                      inner_frames[it].sum(axis=1))
+            else:
+                assert np.array_equal(frame, inner_frames[it])
+
+    def test_straggler_rotates_failed_devices(self):
+        inner = SyntheticTraceSource(CTX.trace_config(), CTX.iterations)
+        source = StragglerTraceSource(inner, period=4, duration=1,
+                                      num_failed=1)
+        assert source.failed_devices(0) != source.failed_devices(4)
+
+    def test_multi_tenant_mix_sums_component_budgets(self):
+        source = make_scenario("multi-tenant-mix", CTX, tenants=3)
+        assert isinstance(source, MixtureTraceSource)
+        assert len(source.components) == 3
+        assert source.tokens_per_device == CTX.tokens_per_device
+        components = [list(c.iter_iterations()) for c in source.components]
+        for it, frame in enumerate(source.iter_iterations()):
+            assert np.array_equal(frame,
+                                  sum(comp[it] for comp in components))
+
+    def test_mixture_rejects_mismatched_components(self):
+        a = SyntheticTraceSource(CTX.trace_config(), CTX.iterations)
+        b = SyntheticTraceSource(CTX.trace_config(num_experts=16),
+                                 CTX.iterations)
+        with pytest.raises(ValueError, match="mixture components"):
+            MixtureTraceSource((a, b))
+
+
+class TestFileTraceSource:
+    def test_lazy_round_trip(self, tmp_path):
+        trace = SyntheticTraceSource(CTX.trace_config(),
+                                     CTX.iterations).materialize()
+        path = save_trace(trace, tmp_path / "trace.npz")
+        source = FileTraceSource(path)
+        assert source.num_iterations == trace.num_iterations
+        assert source.tokens_per_device == trace.tokens_per_device
+        for frame, expected in zip(source.iter_iterations(),
+                                   trace.iter_iterations()):
+            assert np.array_equal(frame, expected)
+        assert np.array_equal(source.fork().materialize().routing,
+                              trace.routing)
+
+    def test_missing_file_fails_on_first_access(self, tmp_path):
+        source = FileTraceSource(tmp_path / "missing.npz")  # cheap to build
+        with pytest.raises(FileNotFoundError):
+            source.num_iterations
+
+
+class TestAsTraceSource:
+    def test_passthrough_for_sources(self):
+        source = SyntheticTraceSource(CTX.trace_config(), 4)
+        assert as_trace_source(source) is source
+        trace = source.materialize()
+        assert as_trace_source(trace) is trace
+
+    def test_frame_sequence_tokens_per_device(self):
+        """tokens_per_device is the worst per-device count, not expert load."""
+        frames = [np.full((2, 4, 8), 25, dtype=np.int64) for _ in range(3)]
+        source = as_trace_source(frames)
+        assert source.num_iterations == 3
+        assert source.tokens_per_device == 25 * 8   # sum over the expert axis
+        assert source.num_devices == 4
+
+
+class TestRoutingTraceAsSource:
+    def test_trace_satisfies_protocol(self):
+        trace = SyntheticTraceSource(CTX.trace_config(), 4).materialize()
+        assert isinstance(trace, TraceSource)
+        frames = list(trace.iter_iterations())
+        assert len(frames) == 4
+        assert trace.fork() is trace
+        assert trace.materialize() is trace
+        assert np.array_equal(frames[2], trace.iteration(2))
