@@ -26,7 +26,7 @@ from repro.core.cost_model import MoECostModel
 from repro.core.layout import static_ep_layout
 from repro.core.lite_routing import lite_route
 from repro.core.planner import LoadBalancingPlanner, PlannerConfig
-from repro.sim.engine import RunResult, compare_systems
+from repro.sim.engine import RunResult, compare_systems_detailed
 from repro.sim.systems import make_system
 from repro.api.specs import ExperimentSpec
 
@@ -123,12 +123,18 @@ class ExperimentResult:
             substitution).
         requested_reference: Reference key the spec asked for.
         systems: Per-system results, in spec order.
+        execution_mode: How the systems were executed: ``"parallel"``,
+            ``"sequential"``, ``"sequential-auto"`` (parallelism requested
+            but demoted -- too few systems or cores) or
+            ``"sequential-fallback"`` (worker-pool infrastructure failed).
+            Empty for results loaded from pre-mode JSON files.
     """
 
     spec: ExperimentSpec
     reference: str
     requested_reference: str
     systems: Dict[str, SystemResult] = field(default_factory=dict)
+    execution_mode: str = ""
 
     # ------------------------------------------------------------------
     @property
@@ -176,6 +182,7 @@ class ExperimentResult:
             "requested_reference": self.requested_reference,
             "systems": {key: result.to_dict()
                         for key, result in self.systems.items()},
+            "execution_mode": self.execution_mode,
         }
 
     @classmethod
@@ -186,6 +193,7 @@ class ExperimentResult:
             requested_reference=data["requested_reference"],
             systems={key: SystemResult.from_dict(result)
                      for key, result in data["systems"].items()},
+            execution_mode=str(data.get("execution_mode", "")),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -263,9 +271,9 @@ class ExperimentRunner:
             built.name = system_spec.key
             systems.append(built)
 
-        runs = compare_systems(systems, source, warmup=spec.workload.warmup,
-                               parallel=self.parallel,
-                               max_workers=self.max_workers)
+        runs, mode = compare_systems_detailed(
+            systems, source, warmup=spec.workload.warmup,
+            parallel=self.parallel, max_workers=self.max_workers)
         self.last_runs = runs
 
         reference = (spec.reference if spec.reference in runs
@@ -279,7 +287,7 @@ class ExperimentRunner:
         }
         return ExperimentResult(spec=spec, reference=reference,
                                 requested_reference=spec.reference,
-                                systems=results)
+                                systems=results, execution_mode=mode)
 
 
 def run_experiment(spec: ExperimentSpec, parallel: bool = True,
@@ -333,10 +341,15 @@ def run_planner_study(spec: ExperimentSpec) -> List[PlannerIterationStats]:
     planner builds its history, matching :class:`ExperimentRunner`) but
     excluded from the returned statistics; ``iteration`` indices are
     positions within the trace, so the first reported entry is ``warmup``.
+
+    The workload streams through the scenario's
+    :class:`~repro.workloads.scenarios.TraceSource` one frame at a time
+    (like the simulation engine), so memory stays O(1) in the number of
+    iterations instead of materializing the whole trace up front.
     """
     topology = spec.cluster.to_topology()
     config = spec.workload.model_config()
-    trace = spec.workload.make_trace(topology.num_devices)
+    source = spec.workload.make_source(topology.num_devices)
     cost_model = MoECostModel.from_model_config(
         config, topology,
         activation_checkpointing=spec.activation_checkpointing)
@@ -347,14 +360,14 @@ def run_planner_study(spec: ExperimentSpec) -> List[PlannerIterationStats]:
                               config.expert_capacity)
 
     stats: List[PlannerIterationStats] = []
-    for iteration in range(trace.num_iterations):
-        plans = planner.plan_iteration(trace.iteration(iteration))
+    for iteration, frame in enumerate(source.iter_iterations()):
+        plans = planner.plan_iteration(frame)
         if iteration < spec.workload.warmup:
             continue
         planned_rel, static_rel = [], []
         planned_total = static_total = 0.0
         for layer, plan in enumerate(plans):
-            routing = trace.layer(iteration, layer)
+            routing = frame[layer]
             ideal = routing.sum() / topology.num_devices
             static_cost = cost_model.evaluate(
                 lite_route(routing, static, topology))

@@ -54,6 +54,21 @@ class CollectiveCostModel:
     def __post_init__(self) -> None:
         if not 0.0 < self.efficiency <= 1.0:
             raise ValueError("efficiency must be in (0, 1]")
+        # Lazily built full-cluster 1 / (bw * efficiency) matrix; topology
+        # and efficiency are fixed after construction, so the hot
+        # group=None all_to_all path pays the scaling exactly once.
+        self._inv_bw_eff: np.ndarray | None = None
+
+    def _inv_bandwidth(self, slice_key) -> np.ndarray:
+        """``1 / (bw * efficiency)`` for the group (cached when full)."""
+        if slice_key is None:
+            if self._inv_bw_eff is None:
+                self._inv_bw_eff = 1.0 / (self.topology.bandwidth_matrix()
+                                          * self.efficiency)
+                self._inv_bw_eff.setflags(write=False)
+            return self._inv_bw_eff
+        return 1.0 / (self.topology.bandwidth_matrix(slice_key)
+                      * self.efficiency)
 
     # ------------------------------------------------------------------
     # All-to-All
@@ -87,21 +102,20 @@ class CollectiveCostModel:
         n = len(members)
         if n == 1:
             return 0.0
-        send_time = np.zeros(n, dtype=np.float64)
-        recv_time = np.zeros(n, dtype=np.float64)
-        latency = np.zeros(n, dtype=np.float64)
-        for a in range(n):
-            for b in range(n):
-                if a == b:
-                    continue
-                num_bytes = traffic[a, b]
-                if num_bytes == 0:
-                    continue
-                bw = self.topology.bandwidth(members[a], members[b]) * self.efficiency
-                t = num_bytes / bw
-                send_time[a] += t
-                recv_time[b] += t
-                latency[a] = max(latency[a], self.topology.latency(members[a], members[b]))
+        # Pure matrix form of the per-pair scan: the inverse-bandwidth
+        # matrix has a 0 diagonal (1/inf -- local copies are free), so
+        # local traffic contributes 0 to both drain times.  (group=None
+        # passes through so full-cluster calls hit the cached matrices
+        # without slicing or rescaling copies.)
+        slice_key = None if group is None else members
+        per_pair = traffic * self._inv_bandwidth(slice_key)
+        send_time = per_pair.sum(axis=1)
+        recv_time = per_pair.sum(axis=0)
+        # Each sender pays the worst fixed latency among the links it
+        # actually uses (the latency diagonal is 0, so local traffic and
+        # idle senders contribute nothing).
+        lat = self.topology.latency_matrix(slice_key)
+        latency = np.where(traffic > 0, lat, 0.0).max(axis=1)
         per_device = np.maximum(send_time, recv_time) + latency
         return float(per_device.max())
 
@@ -112,7 +126,9 @@ class CollectiveCostModel:
         n = len(members)
         traffic = np.full((n, n), float(bytes_per_pair), dtype=np.float64)
         np.fill_diagonal(traffic, 0.0)
-        return self.all_to_all(traffic, members)
+        # Forward the caller's group (not the resolved members) so the
+        # full-cluster case keeps its no-copy fast path in all_to_all.
+        return self.all_to_all(traffic, group)
 
     # ------------------------------------------------------------------
     # Ring-style collectives
@@ -175,26 +191,31 @@ class CollectiveCostModel:
         per_device = passes * (p - 1) * bytes_per_shard
         return passes * (p - 1) * latency + per_device / (slowest * self.efficiency)
 
+    def _spans_nodes(self, members: Sequence[int]) -> bool:
+        """Whether the group touches more than one node (vectorized scan)."""
+        nodes = self.topology.device_nodes()[np.asarray(members, dtype=np.intp)]
+        return bool((nodes != nodes[0]).any())
+
     def _slowest_bandwidth(self, members: Sequence[int]) -> float:
-        nodes = {self.topology.node(m) for m in members}
-        if len(nodes) > 1:
+        if self._spans_nodes(members):
             return self.topology.inter_node_bandwidth
         return self.topology.intra_node_bandwidth
 
     def _max_latency(self, members: Sequence[int]) -> float:
-        nodes = {self.topology.node(m) for m in members}
-        if len(nodes) > 1:
+        if self._spans_nodes(members):
             return self.topology.inter_node_latency
         return self.topology.intra_node_latency
 
-    def _resolve_group(self, group: Sequence[int] | None) -> Sequence[int]:
+    def _resolve_group(self, group: Sequence[int] | None) -> np.ndarray:
         if group is None:
-            return list(self.topology.devices())
-        if len(group) == 0:
+            return np.arange(self.topology.num_devices, dtype=np.intp)
+        members = np.asarray(group, dtype=np.intp).reshape(-1)
+        if members.size == 0:
             raise ValueError("group must not be empty")
-        if len(set(group)) != len(group):
+        if np.unique(members).size != members.size:
             raise ValueError("group contains duplicate devices")
-        for dev in group:
-            if not 0 <= dev < self.topology.num_devices:
-                raise ValueError(f"device {dev} not in topology")
-        return list(group)
+        bad = (members < 0) | (members >= self.topology.num_devices)
+        if bad.any():
+            raise ValueError(
+                f"device {int(members[bad][0])} not in topology")
+        return members

@@ -30,6 +30,11 @@ class LinkType(Enum):
     INTER_NODE = "inter_node"
 
 
+#: Integer codes used by :meth:`ClusterTopology.link_type_matrix`; the code of
+#: a link kind is its index in this tuple.
+LINK_TYPE_ORDER = (LinkType.LOCAL, LinkType.INTRA_NODE, LinkType.INTER_NODE)
+
+
 _GB = 1024.0 ** 3
 
 #: Intra-node unidirectional bandwidth used in the paper (NVLink, 300 GB/s).
@@ -73,6 +78,11 @@ class ClusterTopology:
             raise ValueError("bandwidths must be positive")
         if self.intra_node_latency < 0 or self.inter_node_latency < 0:
             raise ValueError("latencies must be non-negative")
+        # Lazily built N-sized / NxN caches.  The topology is treated as
+        # immutable after construction (nothing in the repo mutates link
+        # parameters in place); the caches are what turns the per-pair
+        # bandwidth/latency lookups of the collectives into array slicing.
+        self._matrix_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Basic structure
@@ -145,18 +155,79 @@ class ClusterTopology:
             return 0.0
         return self.latency(src, dst) + num_bytes / self.bandwidth(src, dst)
 
-    def bandwidth_matrix(self) -> np.ndarray:
-        """Return the full ``N x N`` bandwidth matrix (bytes/s).
+    # ------------------------------------------------------------------
+    # Matrix form (cached)
+    # ------------------------------------------------------------------
+    def device_nodes(self) -> np.ndarray:
+        """Return the cached ``(N,)`` array mapping device rank to node index."""
+        cached = self._matrix_cache.get("nodes")
+        if cached is None:
+            cached = np.arange(self.num_devices) // self.devices_per_node
+            cached.setflags(write=False)
+            self._matrix_cache["nodes"] = cached
+        return cached
 
-        The diagonal is ``inf`` (local copies are free in our model).
+    def _full_matrix(self, key: str, local: float, intra: float,
+                     inter: float) -> np.ndarray:
+        cached = self._matrix_cache.get(key)
+        if cached is None:
+            nodes = self.device_nodes()
+            same = nodes[:, None] == nodes[None, :]
+            cached = np.where(same, intra, inter)
+            np.fill_diagonal(cached, local)
+            cached.setflags(write=False)
+            self._matrix_cache[key] = cached
+        return cached
+
+    def _sliced(self, matrix: np.ndarray,
+                group: Sequence[int] | None) -> np.ndarray:
+        if group is None:
+            return matrix
+        idx = np.asarray(group, dtype=np.intp)
+        return matrix[np.ix_(idx, idx)]
+
+    def bandwidth_matrix(self, group: Sequence[int] | None = None) -> np.ndarray:
+        """Return the ``N x N`` bandwidth matrix (bytes/s), built once.
+
+        The diagonal is ``inf`` (local copies are free in our model).  With
+        ``group``, the ``(len(group), len(group))`` slice for those global
+        ranks is returned; entry ``[a, b]`` is ``bw(group[a], group[b])``.
+        The full matrix is cached (and read-only); group slices are fresh
+        arrays.
         """
-        n = self.num_devices
-        mat = np.full((n, n), self.inter_node_bandwidth, dtype=np.float64)
-        for node in range(self.num_nodes):
-            devs = self.devices_on_node(node)
-            mat[np.ix_(devs, devs)] = self.intra_node_bandwidth
-        np.fill_diagonal(mat, np.inf)
-        return mat
+        full = self._full_matrix("bandwidth", np.inf,
+                                 self.intra_node_bandwidth,
+                                 self.inter_node_bandwidth)
+        return self._sliced(full, group)
+
+    def latency_matrix(self, group: Sequence[int] | None = None) -> np.ndarray:
+        """Return the ``N x N`` fixed message latency matrix (seconds).
+
+        The diagonal is 0 (no transfer).  ``group`` slices as in
+        :meth:`bandwidth_matrix`.
+        """
+        full = self._full_matrix("latency", 0.0,
+                                 self.intra_node_latency,
+                                 self.inter_node_latency)
+        return self._sliced(full, group)
+
+    def link_type_matrix(self, group: Sequence[int] | None = None) -> np.ndarray:
+        """Return the ``N x N`` link classification as integer codes.
+
+        Codes index :data:`LINK_TYPE_ORDER`: 0 = LOCAL, 1 = INTRA_NODE,
+        2 = INTER_NODE, i.e. ``LINK_TYPE_ORDER[mat[i, j]] is
+        self.link_type(i, j)``.  ``group`` slices as in
+        :meth:`bandwidth_matrix`.
+        """
+        cached = self._matrix_cache.get("link_type")
+        if cached is None:
+            nodes = self.device_nodes()
+            same = nodes[:, None] == nodes[None, :]
+            cached = np.where(same, 1, 2).astype(np.int8)
+            np.fill_diagonal(cached, 0)
+            cached.setflags(write=False)
+            self._matrix_cache["link_type"] = cached
+        return self._sliced(cached, group)
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -218,6 +289,11 @@ def group_by_node(topology: ClusterTopology, devices: Sequence[int]) -> List[Lis
     original order.
     """
     groups: List[List[int]] = [[] for _ in range(topology.num_nodes)]
-    for dev in devices:
-        groups[topology.node(dev)].append(dev)
+    devs = np.asarray(list(devices), dtype=np.intp)
+    if devs.size == 0:
+        return groups
+    if devs.min() < 0 or devs.max() >= topology.num_devices:
+        raise ValueError("device rank out of range for the topology")
+    for dev, node in zip(devs.tolist(), topology.device_nodes()[devs].tolist()):
+        groups[node].append(dev)
     return groups

@@ -20,6 +20,44 @@ from repro.cluster.topology import ClusterTopology
 from repro.core.layout import ExpertLayout
 
 
+def _split_evenly_batched(totals: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_split_evenly`: split ``totals[m]`` along ``weights[m]``.
+
+    Args:
+        totals: ``(M,)`` non-negative token counts.
+        weights: ``(M, K)`` non-negative weights; every row whose total is
+            positive must have a positive weight sum (rows with a zero total
+            yield all zeros and their weights are ignored).
+
+    Returns:
+        ``(M, K)`` int64 splits, each row exactly equal to
+        ``_split_evenly(totals[m], weights[m])``: floor of the proportional
+        share first, leftovers to the largest fractional shares with ties
+        broken by index.
+    """
+    totals = np.asarray(totals, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(totals < 0):
+        raise ValueError("total must be non-negative")
+    weight_sums = weights.sum(axis=1)
+    active = totals > 0
+    if np.any(active & (weight_sums <= 0)):
+        raise ValueError("weights must sum to a positive value")
+    safe_sums = np.where(weight_sums > 0, weight_sums, 1.0)
+    raw = totals[:, None] * weights / safe_sums[:, None]
+    base = np.floor(raw).astype(np.int64)
+    remainder = totals - base.sum(axis=1)
+    frac = raw - base
+    # Rank the fractional shares per row (stable => ties broken by index)
+    # and hand each row's leftover tokens to its top-`remainder` ranks.
+    order = np.argsort(-frac, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    rows = np.arange(order.shape[0])[:, None]
+    ranks[rows, order] = np.arange(order.shape[1])[None, :]
+    base += ranks < remainder[:, None]
+    return base
+
+
 def _split_evenly(total: int, weights: np.ndarray) -> np.ndarray:
     """Split ``total`` integer tokens proportionally to ``weights``.
 
@@ -28,22 +66,12 @@ def _split_evenly(total: int, weights: np.ndarray) -> np.ndarray:
     order, so tests (and all devices running the algorithm independently)
     agree on the result.
     """
-    weights = np.asarray(weights, dtype=np.float64)
+    weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
     if total < 0:
         raise ValueError("total must be non-negative")
-    weight_sum = weights.sum()
-    if weight_sum <= 0:
+    if weights.sum() <= 0:
         raise ValueError("weights must sum to a positive value")
-    raw = total * weights / weight_sum
-    base = np.floor(raw).astype(np.int64)
-    remainder = int(total - base.sum())
-    if remainder > 0:
-        # Give the leftover tokens to the targets with the largest fractional
-        # share, breaking ties by index.
-        frac = raw - base
-        order = np.argsort(-frac, kind="stable")
-        base[order[:remainder]] += 1
-    return base
+    return _split_evenly_batched(np.asarray([total]), weights)[0]
 
 
 def lite_route_single_rank(routing_row: np.ndarray, layout: ExpertLayout,
@@ -61,28 +89,38 @@ def lite_route_single_rank(routing_row: np.ndarray, layout: ExpertLayout,
     """
     routing_row = np.asarray(routing_row, dtype=np.int64)
     num_experts = layout.num_experts
-    num_devices = layout.num_devices
     if routing_row.shape != (num_experts,):
         raise ValueError(f"routing_row must have shape ({num_experts},)")
     if np.any(routing_row < 0):
         raise ValueError("token counts must be non-negative")
-    plan = np.zeros((num_experts, num_devices), dtype=np.int64)
-    node_devices = np.asarray(topology.devices_on_node(topology.node(rank)))
-    for expert in range(num_experts):
-        tokens = int(routing_row[expert])
-        if tokens == 0:
-            continue
-        replica_counts = layout.assignment[:, expert]
-        intra_counts = np.zeros(num_devices, dtype=np.int64)
-        intra_counts[node_devices] = replica_counts[node_devices]
-        if intra_counts.sum() > 0:
-            targets = intra_counts
-        else:
-            targets = replica_counts
-        if targets.sum() == 0:
-            raise ValueError(f"expert {expert} has no replica in the layout")
-        plan[expert] = _split_evenly(tokens, targets)
-    return plan
+    weights = _node_target_weights(layout, topology, topology.node(rank))
+    _check_replicas(routing_row[None, :], weights)
+    return _split_evenly_batched(routing_row, weights)
+
+
+def _node_target_weights(layout: ExpertLayout, topology: ClusterTopology,
+                         node: int) -> np.ndarray:
+    """Per-expert ``(E, N)`` split weights for senders hosted on ``node``.
+
+    Every expert's row is the node-local replica counts when the node hosts
+    at least one replica (keeping traffic on NVLink), otherwise the global
+    replica counts -- the vectorized form of Algorithm 3's target selection,
+    shared by every sender on the node.
+    """
+    replica = layout.assignment.T.astype(np.float64)  # (E, N)
+    node_devices = np.asarray(topology.devices_on_node(node))
+    intra = np.zeros_like(replica)
+    intra[:, node_devices] = replica[:, node_devices]
+    has_intra = intra.sum(axis=1) > 0
+    return np.where(has_intra[:, None], intra, replica)
+
+
+def _check_replicas(routing: np.ndarray, weights: np.ndarray) -> None:
+    """Raise for the first expert that has tokens but no replica anywhere."""
+    missing = (routing.sum(axis=0) > 0) & (weights.sum(axis=1) <= 0)
+    if np.any(missing):
+        expert = int(np.argmax(missing))
+        raise ValueError(f"expert {expert} has no replica in the layout")
 
 
 def lite_route(routing: np.ndarray, layout: ExpertLayout,
@@ -107,9 +145,20 @@ def lite_route(routing: np.ndarray, layout: ExpertLayout,
             f"got {routing.shape}")
     if topology.num_devices != n:
         raise ValueError("topology size does not match the layout")
-    plan = np.zeros((n, layout.num_experts, n), dtype=np.int64)
-    for rank in range(n):
-        plan[rank] = lite_route_single_rank(routing[rank], layout, topology, rank)
+    if np.any(routing < 0):
+        raise ValueError("token counts must be non-negative")
+    num_experts = layout.num_experts
+    plan = np.zeros((n, num_experts, n), dtype=np.int64)
+    # All senders on a node share the same per-expert target weights, so the
+    # whole node's (ranks x experts) splits batch into one call.
+    for node in range(topology.num_nodes):
+        ranks = topology.devices_on_node(node)
+        weights = _node_target_weights(layout, topology, node)
+        _check_replicas(routing[ranks], weights)
+        totals = routing[ranks].reshape(-1)                  # (R*E,)
+        tiled = np.tile(weights, (len(ranks), 1))            # (R*E, N)
+        plan[ranks] = _split_evenly_batched(totals, tiled).reshape(
+            len(ranks), num_experts, n)
     return plan
 
 
@@ -121,17 +170,11 @@ def global_even_route(routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:
     """
     routing = np.asarray(routing, dtype=np.int64)
     n, num_experts = routing.shape
-    plan = np.zeros((n, num_experts, n), dtype=np.int64)
-    for rank in range(n):
-        for expert in range(num_experts):
-            tokens = int(routing[rank, expert])
-            if tokens == 0:
-                continue
-            replica_counts = layout.assignment[:, expert]
-            if replica_counts.sum() == 0:
-                raise ValueError(f"expert {expert} has no replica in the layout")
-            plan[rank, expert] = _split_evenly(tokens, replica_counts)
-    return plan
+    weights = layout.assignment.T.astype(np.float64)  # (E, N)
+    _check_replicas(routing, weights)
+    totals = routing.reshape(-1)                      # (N*E,)
+    tiled = np.tile(weights, (n, 1))                  # (N*E, N)
+    return _split_evenly_batched(totals, tiled).reshape(n, num_experts, n)
 
 
 def ep_route(routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:

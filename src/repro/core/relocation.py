@@ -52,13 +52,13 @@ def relocate_experts(expert_replicas: np.ndarray, expert_loads: np.ndarray,
             f"{num_devices * capacity}")
 
     # Build the replica list: one entry per replica, carrying the average load
-    # a replica of that expert will serve (Line 3-4).
-    replica_list: List[Tuple[int, float]] = []
-    for expert in range(num_experts):
-        avg_load = expert_loads[expert] / expert_replicas[expert]
-        replica_list.extend([(expert, avg_load)] * int(expert_replicas[expert]))
-    # Sort descending by load; ties broken by expert id for determinism (Line 5).
-    replica_list.sort(key=lambda item: (-item[1], item[0]))
+    # a replica of that expert will serve (Line 3-4), sorted descending by
+    # load with ties broken by expert id for determinism (Line 5).
+    replica_experts = np.repeat(np.arange(num_experts), expert_replicas)
+    replica_loads = np.repeat(expert_loads / expert_replicas, expert_replicas)
+    order = np.lexsort((replica_experts, -replica_loads))
+    replica_list: List[Tuple[int, float]] = list(
+        zip(replica_experts[order].tolist(), replica_loads[order].tolist()))
 
     assignment = np.zeros((num_devices, num_experts), dtype=np.int64)
     device_slots = np.zeros(num_devices, dtype=np.int64)
@@ -93,16 +93,10 @@ def _select_device(node_counts: np.ndarray, node_of: np.ndarray,
     has_capacity = device_slots < capacity
     if not np.any(has_capacity):
         raise ValueError("no device has spare capacity for the replica")
-    # Nodes ordered by how many replicas of the expert they already hold.
-    for count in np.sort(np.unique(node_counts)):
-        candidate_nodes = np.nonzero(node_counts == count)[0]
-        mask = has_capacity & np.isin(node_of, candidate_nodes)
-        candidates = np.nonzero(mask)[0]
-        if candidates.size == 0:
-            continue
-        loads = device_loads[candidates]
-        return int(candidates[int(np.argmin(loads))])
-    # Fall back to any device with capacity (only reachable when the preferred
-    # nodes are all full).
-    candidates = np.nonzero(has_capacity)[0]
-    return int(candidates[int(np.argmin(device_loads[candidates]))])
+    # The node-preference scan is a lexicographic argmin over the devices
+    # with spare capacity: minimise (replicas of the expert already on the
+    # device's node, accumulated device load, device index).
+    per_device_count = np.where(has_capacity, node_counts[node_of], np.iinfo(np.int64).max)
+    preferred = per_device_count == per_device_count.min()
+    masked_loads = np.where(preferred, device_loads, np.inf)
+    return int(np.argmin(masked_loads))

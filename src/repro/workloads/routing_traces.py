@@ -158,10 +158,11 @@ class RoutingTrace:
 
     def mean_imbalance(self) -> float:
         """Average imbalance across all iterations and layers."""
-        vals = [self.imbalance(it, layer)
-                for it in range(self.num_iterations)
-                for layer in range(self.num_layers)]
-        return float(np.mean(vals))
+        loads = self.routing.sum(axis=2).astype(np.float64)  # (iters, layers, E)
+        mean = loads.mean(axis=2)
+        peak = loads.max(axis=2)
+        vals = np.where(mean == 0, 1.0, peak / np.where(mean == 0, 1.0, mean))
+        return float(vals.mean())
 
     def slice_iterations(self, start: int, stop: int) -> "RoutingTrace":
         """Return a trace containing only iterations ``start..stop-1``."""
@@ -193,16 +194,12 @@ class RoutingTrace:
         """
         if num_devices <= 0:
             raise ValueError("num_devices must be positive")
-        iters, layers, _, experts = self.routing.shape
-        out = np.zeros((iters, layers, num_devices, experts), dtype=np.int64)
-        for it in range(iters):
-            for layer in range(layers):
-                totals = self.routing[it, layer].sum(axis=0)
-                base = totals // num_devices
-                rem = totals % num_devices
-                out[it, layer] = base[None, :]
-                for j in range(experts):
-                    out[it, layer, :int(rem[j]), j] += 1
+        totals = self.routing.sum(axis=2, dtype=np.int64)  # (iters, layers, E)
+        base = totals // num_devices
+        rem = totals % num_devices
+        # Device d gets one extra token of expert j exactly when d < rem[j].
+        device_index = np.arange(num_devices, dtype=np.int64)[None, None, :, None]
+        out = base[:, :, None, :] + (device_index < rem[:, :, None, :])
         return RoutingTrace(routing=out, top_k=self.top_k,
                             tokens_per_device=int(out[0, 0].sum(axis=1).max()))
 
@@ -219,19 +216,18 @@ def draw_routing_frame(rng: np.random.Generator, probs_by_layer: np.ndarray,
     the same popularity schedule stay bit-identical across refactors.
     """
     assignments = config.tokens_per_device * config.top_k
-    out = np.zeros((config.num_layers, config.num_devices, config.num_experts),
-                   dtype=np.int64)
-    for layer in range(config.num_layers):
-        probs = probs_by_layer[layer]
-        for dev in range(config.num_devices):
-            if config.device_noise > 0:
-                noisy = probs * rng.lognormal(
-                    0.0, config.device_noise, size=config.num_experts)
-                noisy = noisy / noisy.sum()
-            else:
-                noisy = probs
-            out[layer, dev] = rng.multinomial(assignments, noisy)
-    return out
+    shape = (config.num_layers, config.num_devices, config.num_experts)
+    pvals = np.broadcast_to(
+        np.asarray(probs_by_layer, dtype=np.float64)[:, None, :], shape)
+    if config.device_noise > 0:
+        # One (layers, N, E) lognormal tensor instead of layers*N small
+        # draws; row-normalise so every (layer, device) slice is a
+        # probability vector again.
+        noisy = pvals * rng.lognormal(0.0, config.device_noise, size=shape)
+        pvals = noisy / noisy.sum(axis=-1, keepdims=True)
+    # Generator.multinomial broadcasts over the leading axes of pvals,
+    # replacing the per-(layer, device) Python loop with one batched draw.
+    return rng.multinomial(assignments, np.ascontiguousarray(pvals))
 
 
 @dataclass

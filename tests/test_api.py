@@ -238,6 +238,20 @@ class TestRunner:
         assert restored.throughputs() == result.throughputs()
         assert (restored.systems["laer"].breakdown_s
                 == result.systems["laer"].breakdown_s)
+        assert restored.execution_mode == result.execution_mode
+
+    def test_execution_mode_recorded(self):
+        sequential = run_experiment(small_spec(), parallel=False)
+        assert sequential.execution_mode == "sequential"
+        requested = run_experiment(small_spec(), parallel=True)
+        # Parallel may be demoted on small hosts/comparisons, but the
+        # decision is always recorded.
+        assert requested.execution_mode in ("parallel", "sequential-auto",
+                                            "sequential-fallback")
+        # Results from pre-mode JSON files load with an empty mode.
+        data = sequential.to_dict()
+        del data["execution_mode"]
+        assert ExperimentResult.from_dict(data).execution_mode == ""
 
     def test_reference_substitution_recorded(self):
         result = run_experiment(small_spec(reference="megatron"))

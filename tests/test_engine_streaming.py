@@ -6,7 +6,13 @@ import pytest
 from repro.cluster.topology import ClusterTopology
 from repro.core.layout_tuner import TunerConfig
 from repro.baselines.laer import LAERPolicy
-from repro.sim.engine import RunResult, TrainingRunSimulator, compare_systems
+from repro.sim.engine import (
+    RunResult,
+    TrainingRunSimulator,
+    compare_systems,
+    compare_systems_detailed,
+    resolve_execution_mode,
+)
 from repro.sim.iteration import IterationResult, LayerResult
 from repro.sim.systems import SystemBuildContext, available_systems, make_system
 from repro.workloads.model_configs import get_model_config
@@ -72,7 +78,11 @@ class TestStreaming:
 
 
 class TestParallelCompare:
-    def test_parallel_matches_sequential(self, topology, context):
+    def test_parallel_matches_sequential(self, topology, context, monkeypatch):
+        # Pretend the host is large so the comparison genuinely runs in
+        # worker processes even on small CI runners (the auto-demotion
+        # would otherwise reduce this to sequential-vs-sequential).
+        monkeypatch.setattr("repro.sim.engine._usable_cpus", lambda: 8)
         source = make_scenario("phase-shift", context)
         names = ("megatron", "fsdp_ep", "flexmoe", "laer")
 
@@ -82,29 +92,56 @@ class TestParallelCompare:
 
         sequential = compare_systems(build_all(), source, warmup=1,
                                      parallel=False)
-        parallel = compare_systems(build_all(), source, warmup=1,
-                                   parallel=True)
+        parallel, mode = compare_systems_detailed(build_all(), source,
+                                                  warmup=1, parallel=True)
+        assert mode == "parallel"
         assert set(sequential) == set(parallel) == set(names)
         for name in names:
             _assert_runs_identical(sequential[name], parallel[name])
 
     def test_unpicklable_system_falls_back_to_sequential(self, topology,
-                                                         context):
+                                                         context,
+                                                         monkeypatch):
+        # Force the parallel path regardless of the host's core count (the
+        # auto-demotion would otherwise mask the infra-fallback behaviour).
+        monkeypatch.setattr("repro.sim.engine._usable_cpus", lambda: 8)
         source = make_scenario("drifting", context)
-        system = make_system("fsdp_ep", CONFIG, topology, 2048)
+        systems = [make_system("fsdp_ep", CONFIG, topology, 2048),
+                   make_system("megatron", CONFIG, topology, 2048)]
         broken = make_system("laer", CONFIG, topology, 2048)
         broken.policy.unpicklable = lambda: None  # closures don't pickle
+        systems.append(broken)
         with pytest.warns(RuntimeWarning, match="falling back to sequential"):
-            results = compare_systems([system, broken], source, warmup=1,
-                                      parallel=True)
+            results, mode = compare_systems_detailed(systems, source, warmup=1,
+                                                     parallel=True)
+        assert mode == "sequential-fallback"
         assert results["fsdp_ep"].throughput > 0
         assert results["laer"].throughput > 0
 
-    def test_simulation_errors_propagate_without_sequential_rerun(
-            self, topology, context):
-        """Worker-side simulation failures are not executor failures."""
+    def test_parallel_demoted_on_small_hosts_or_comparisons(self, monkeypatch):
+        monkeypatch.setattr("repro.sim.engine._usable_cpus", lambda: 1)
+        assert resolve_execution_mode(True, 8) == "sequential-auto"
+        monkeypatch.setattr("repro.sim.engine._usable_cpus", lambda: 8)
+        assert resolve_execution_mode(True, 2) == "sequential-auto"
+        assert resolve_execution_mode(True, 3) == "parallel"
+        assert resolve_execution_mode(False, 8) == "sequential"
+
+    def test_detailed_mode_recorded(self, topology, context):
         source = make_scenario("drifting", context)
         systems = [make_system("fsdp_ep", CONFIG, topology, 2048),
+                   make_system("laer", CONFIG, topology, 2048)]
+        runs, mode = compare_systems_detailed(systems, source, warmup=1,
+                                              parallel=False)
+        assert mode == "sequential"
+        assert set(runs) == {"fsdp_ep", "laer"}
+
+    def test_simulation_errors_propagate_without_sequential_rerun(
+            self, topology, context, monkeypatch):
+        """Worker-side simulation failures are not executor failures."""
+        monkeypatch.setattr("repro.sim.engine._usable_cpus", lambda: 8)
+        source = make_scenario("drifting", context)
+        systems = [make_system("fsdp_ep", CONFIG, topology, 2048),
+                   make_system("megatron", CONFIG, topology, 2048),
                    make_system("laer", CONFIG, topology, 2048)]
         with pytest.raises(ValueError, match="warmup leaves no iterations"):
             compare_systems(systems, source, warmup=99, parallel=True)
