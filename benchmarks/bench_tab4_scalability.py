@@ -1,58 +1,63 @@
 """Table 4 (Appendix D) -- simulated MLP speedup on growing clusters.
 
-Replays the same global routing distribution on clusters of 8 to 128 GPUs and
+Replays the same routing distribution on clusters of 8 to 128 GPUs and
 reports the speedup of the MoE-layer (MLP) time of LAER-MoE's re-layout over
 the static FSDP+EP placement.  The paper reports a stable ~1.49x from 8 to
 128 GPUs.
+
+The grid is now driven by the study subsystem: the registered
+``sweep-cluster-sizes`` study expands the cluster-size axis into experiment
+specs, the study runner executes them into a :class:`repro.store.ResultStore`
+(in a scratch directory) and the table is rebuilt *from the stored runs* --
+so this benchmark also exercises the persist-then-report path the
+``repro study`` CLI uses.  Weak scaling as in the paper's Appendix D: the
+per-GPU batch stays constant while the cluster grows, and every cell replays
+the statistically identical routing distribution (same scenario, same seed).
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
 
 from repro.analysis.reporting import format_table, print_report
-from repro.cluster.topology import ClusterTopology
-from repro.sim.engine import compare_systems
-from repro.sim.systems import make_system
-from repro.workloads.model_configs import get_model_config
-from repro.workloads.routing_traces import RoutingTraceConfig, SyntheticRoutingTraceGenerator
+from repro.store import ResultStore
+from repro.study import make_study, run_study
 
 from conftest import BENCH_WARMUP, TOKENS_PER_DEVICE
 
-CLUSTER_SIZES = [8, 16, 32, 64, 128]
+#: Node counts; with 8 devices per node this spans 8 to 128 GPUs.
+CLUSTER_SIZES = [1, 2, 4, 8, 16]
+
+
+def _mlp_time(system_result) -> float:
+    breakdown = system_result.breakdown_s
+    return (breakdown["expert_compute"] + breakdown["all_to_all"]
+            + breakdown["exposed_comm"])
 
 
 def run_scalability():
-    config = get_model_config("mixtral-8x7b-e8k2")
-
+    study = make_study(
+        "sweep-cluster-sizes", sizes=CLUSTER_SIZES, devices_per_node=8,
+        tokens_per_device=TOKENS_PER_DEVICE, layers=2, iterations=6,
+        warmup=BENCH_WARMUP, skew=0.45, seed=51)
     rows = []
-    for num_devices in CLUSTER_SIZES:
-        topology = ClusterTopology.homogeneous(num_devices, devices_per_node=8)
-        # Weak scaling as in the paper's Appendix D: the per-GPU batch stays
-        # constant while the cluster grows, and every cluster size replays the
-        # same (statistically identical) routing distribution.
-        trace = SyntheticRoutingTraceGenerator(RoutingTraceConfig(
-            num_devices=num_devices, num_experts=config.num_experts,
-            num_layers=2, tokens_per_device=TOKENS_PER_DEVICE,
-            top_k=config.top_k, skew=0.45, churn_prob=0.0,
-            seed=51)).generate(8)
-        systems = [make_system(name, config, topology, TOKENS_PER_DEVICE)
-                   for name in ("fsdp_ep", "laer")]
-        results = compare_systems(systems, trace, warmup=BENCH_WARMUP)
-
-        def mlp_time(run):
-            breakdown = run.mean_breakdown()
-            return (breakdown["expert_compute"] + breakdown["all_to_all"]
-                    + breakdown["exposed_comm"])
-
-        speedup = mlp_time(results["fsdp_ep"]) / mlp_time(results["laer"])
-        rows.append({
-            "num_gpus": num_devices,
-            "fsdp_ep_mlp_ms": round(1000 * mlp_time(results["fsdp_ep"]), 1),
-            "laer_mlp_ms": round(1000 * mlp_time(results["laer"]), 1),
-            "mlp_speedup": round(speedup, 3),
-        })
-    return rows
+    with tempfile.TemporaryDirectory() as scratch:
+        store = ResultStore(scratch)
+        report = run_study(study, store)
+        assert len(report.executed) == len(CLUSTER_SIZES)
+        for outcome in report.cells:
+            result = store.get_result(outcome.run_id)
+            fsdp_ms = 1000 * _mlp_time(result.systems["fsdp_ep"])
+            laer_ms = 1000 * _mlp_time(result.systems["laer"])
+            rows.append({
+                "num_gpus": result.spec.cluster.num_devices,
+                "fsdp_ep_mlp_ms": round(fsdp_ms, 1),
+                "laer_mlp_ms": round(laer_ms, 1),
+                "mlp_speedup": round(fsdp_ms / laer_ms, 3),
+            })
+        # Resume across the whole grid is a no-op (nothing recomputed).
+        assert not run_study(study, store).executed
+    return sorted(rows, key=lambda row: row["num_gpus"])
 
 
 def test_tab4_scalability(benchmark):

@@ -1,17 +1,22 @@
 #!/usr/bin/env python
-"""Sweep every registered routing scenario and compare LAER-MoE to FSDP+EP.
+"""Sweep every runnable routing scenario through the study subsystem.
 
-The scenario registry makes workload diversity declarative: the same
-experiment spec is re-run over every built-in scenario -- steady, drifting,
-bursty churn, diurnal cycles, phase shifts, stragglers and a multi-tenant
-mix -- and the table shows how much of LAER-MoE's advantage survives each
-routing regime.  The systems inside every experiment execute in parallel
-worker processes; per-system source forks keep the numbers identical to a
-sequential run.
+The sweep is now declarative end to end: the registered ``sweep-scenarios``
+study expands a scenario axis into a grid of experiment specs, the
+:class:`repro.study.StudyRunner` executes the grid (cells run in parallel
+worker processes when the host is big enough), and every cell lands in a
+persistent :class:`repro.store.ResultStore`.  Because run ids are
+content-hashed from the specs, re-running this script is a near-instant
+no-op -- the store recognises every completed cell and skips it -- and the
+accumulated runs can be inspected later with::
+
+    repro study ls     --store ./scenario-sweep-store
+    repro study diff   --store ./scenario-sweep-store RUN_A RUN_B
+    repro study report --store ./scenario-sweep-store --study sweep-scenarios
 
 Run with::
 
-    python examples/scenario_sweep.py [model-name]
+    python examples/scenario_sweep.py [model-name] [store-dir]
 """
 
 from __future__ import annotations
@@ -19,35 +24,30 @@ from __future__ import annotations
 import sys
 
 from repro.analysis.reporting import format_table, print_report
-from repro.api import ClusterSpec, ExperimentSpec, WorkloadSpec, run_experiment
-from repro.workloads.scenarios import available_scenarios, scenario_descriptions
+from repro.store import ResultStore
+from repro.study import make_study, run_study
+from repro.workloads.scenarios import scenario_descriptions
 
 TOKENS_PER_DEVICE = 8192
 
 
-def main(model_name: str = "mixtral-8x7b-e8k2") -> None:
+def main(model_name: str = "mixtral-8x7b-e8k2",
+         store_dir: str = "./scenario-sweep-store") -> None:
+    study = make_study("sweep-scenarios", model=model_name,
+                       tokens_per_device=TOKENS_PER_DEVICE, seed=17)
+    store = ResultStore(store_dir)
+    report = run_study(study, store)
+    print(report.summary())
+
     descriptions = scenario_descriptions()
     rows = []
-    for scenario in available_scenarios():
-        spec = ExperimentSpec(
-            name=f"sweep-{scenario}",
-            cluster=ClusterSpec(num_nodes=2, devices_per_node=8),
-            workload=WorkloadSpec(
-                model=model_name,
-                tokens_per_device=TOKENS_PER_DEVICE,
-                layers=2,
-                iterations=8,
-                warmup=2,
-                seed=17,
-                scenario=scenario,
-            ),
-            systems=("fsdp_ep", "laer"),
-            reference="fsdp_ep",
-        )
-        result = run_experiment(spec)
+    for outcome in report.cells:
+        result = store.get_result(outcome.run_id)
         laer = result.systems["laer"]
+        scenario = result.spec.workload.scenario
         rows.append({
             "scenario": scenario,
+            "status": outcome.status,
             "laer_tok_s": round(laer.throughput, 0),
             "speedup_vs_fsdp_ep": round(laer.speedup_vs_reference, 2),
             "rel_max_tokens": round(laer.mean_relative_max_tokens, 2),
@@ -62,7 +62,9 @@ def main(model_name: str = "mixtral-8x7b-e8k2") -> None:
     print(f"Largest win: {best['speedup_vs_fsdp_ep']:.2f}x on "
           f"{best['scenario']!r}; smallest: "
           f"{worst['speedup_vs_fsdp_ep']:.2f}x on {worst['scenario']!r}.")
+    print(f"Results persisted to {store.root} "
+          f"(re-running this script skips completed cells).")
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "mixtral-8x7b-e8k2")
+    main(*sys.argv[1:3])

@@ -7,6 +7,12 @@ Training*.  It contains:
 * ``repro.api`` -- the declarative front door: JSON-serializable experiment
   specs (:class:`repro.api.ExperimentSpec`), the experiment runner executing
   them end to end, and structured, serializable results.  Start here.
+* ``repro.study`` -- declarative sweeps: axes over systems / scenarios /
+  cluster sizes expanded into experiment grids, executed resumably by
+  :class:`repro.study.StudyRunner`.
+* ``repro.store`` -- the persistent result store sweeps accumulate into:
+  content-hashed run JSONs, an incrementally maintained index, and
+  cross-run ``query`` / ``diff`` / ``regressions``.
 * ``repro.core`` -- the paper's contribution: the FSEP parallel paradigm
   (shard / unshard / reshard of fully-sharded expert parameters with arbitrary
   per-iteration expert layouts), the load-balancing planner (expert layout

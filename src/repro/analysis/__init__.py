@@ -9,9 +9,12 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.breakdown import BreakdownTable, breakdown_table_from_runs
 from repro.analysis.reporting import (
-    format_table,
-    format_speedup_table,
+    format_markdown_table,
+    format_run_diff,
     format_series,
+    format_speedup_table,
+    format_study_report,
+    format_table,
     print_report,
 )
 
@@ -26,5 +29,8 @@ __all__ = [
     "format_table",
     "format_speedup_table",
     "format_series",
+    "format_markdown_table",
+    "format_run_diff",
+    "format_study_report",
     "print_report",
 ]

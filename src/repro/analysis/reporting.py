@@ -66,12 +66,87 @@ def format_series(series: Mapping[str, Sequence[float]], x_label: str,
     return format_table(rows, title=title)
 
 
+def format_markdown_table(rows: Sequence[Mapping[str, object]],
+                          columns: Sequence[str] | None = None) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(col) for col in columns) + " |",
+        "|" + "|".join(" --- " for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(col, ""))
+                                       for col in columns) + " |")
+    return "\n".join(lines)
+
+
+def format_run_diff(rows: Sequence[Mapping[str, object]],
+                    title: str | None = None) -> str:
+    """Render per-metric delta rows (``RunDiff.as_rows()``) as an ASCII table.
+
+    Expects mappings with ``system``/``metric``/``base``/``other``/``delta``/
+    ``rel_delta`` keys; the relative delta is shown as a signed percentage.
+    """
+    formatted = [{
+        "system": row.get("system", ""),
+        "metric": row.get("metric", ""),
+        "base": _round(row.get("base"), 6),
+        "other": _round(row.get("other"), 6),
+        "delta": _round(row.get("delta"), 6),
+        "rel_delta": _percent(row.get("rel_delta")),
+    } for row in rows]
+    return format_table(formatted, title=title)
+
+
+def format_study_report(title: str,
+                        rows: Sequence[Mapping[str, object]],
+                        columns: Sequence[str] | None = None,
+                        intro: str = "",
+                        sections: Mapping[str, Sequence[Mapping[str, object]]]
+                        | None = None) -> str:
+    """Render a study's stored results as a markdown report.
+
+    Args:
+        title: Report heading (typically the study name).
+        rows: One mapping per (run, system) with whatever metric columns the
+            caller selected; rendered as the main results table.
+        columns: Column order override for the main table.
+        intro: Optional paragraph between the heading and the table.
+        sections: Optional extra ``{heading: rows}`` tables (e.g. per-metric
+            diffs of two runs, or a regression list).
+    """
+    parts: List[str] = [f"# Study report: {title}", ""]
+    if intro:
+        parts += [intro, ""]
+    parts += [format_markdown_table(rows, columns=columns), ""]
+    for heading, section_rows in (sections or {}).items():
+        parts += [f"## {heading}", "",
+                  format_markdown_table(list(section_rows)), ""]
+    return "\n".join(parts).rstrip() + "\n"
+
+
 def print_report(*blocks: str) -> None:
     """Print report blocks separated by blank lines (helper for benchmarks)."""
     print()
     for block in blocks:
         print(block)
         print()
+
+
+def _round(value: object, digits: int) -> object:
+    if isinstance(value, float):
+        return round(value, digits)
+    return value
+
+
+def _percent(value: object) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value * 100:+.2f}%"
+    return str(value)
 
 
 def _fmt(value: object) -> str:

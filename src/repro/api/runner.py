@@ -99,16 +99,22 @@ class SystemResult:
         """Summarise a simulator :class:`RunResult`."""
         speedup = (run.throughput / reference_throughput
                    if reference_throughput > 0 else float("inf"))
+        # Coerce to builtin types: the simulator hands back numpy scalars,
+        # which would otherwise leak into to_dict() and make in-memory
+        # results compare unequal to their JSON round-trips.
         return cls(
             key=key,
             system=system,
-            throughput=run.throughput,
-            mean_iteration_s=run.mean_iteration_time,
-            tokens_per_iteration=run.tokens_per_iteration,
-            speedup_vs_reference=speedup,
-            breakdown_s=run.mean_breakdown(),
-            mean_relative_max_tokens=run.mean_relative_max_tokens(),
-            per_layer_relative_max_tokens=run.per_layer_relative_max_tokens(),
+            throughput=float(run.throughput),
+            mean_iteration_s=float(run.mean_iteration_time),
+            tokens_per_iteration=int(run.tokens_per_iteration),
+            speedup_vs_reference=float(speedup),
+            breakdown_s={name: float(seconds)
+                         for name, seconds in run.mean_breakdown().items()},
+            mean_relative_max_tokens=float(run.mean_relative_max_tokens()),
+            per_layer_relative_max_tokens=[
+                float(value)
+                for value in run.per_layer_relative_max_tokens()],
         )
 
 
@@ -193,7 +199,9 @@ class ExperimentResult:
             requested_reference=data["requested_reference"],
             systems={key: SystemResult.from_dict(result)
                      for key, result in data["systems"].items()},
-            execution_mode=str(data.get("execution_mode", "")),
+            # `or ""` so an explicit null in a hand-edited/legacy file maps
+            # to the missing-mode default instead of the string "None".
+            execution_mode=str(data.get("execution_mode") or ""),
         )
 
     def to_json(self, indent: int = 2) -> str:

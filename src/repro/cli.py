@@ -15,7 +15,21 @@ Provides quick access to the most common workflows without writing Python:
   EP layout;
 * ``repro run`` -- execute a declarative :class:`repro.api.ExperimentSpec`,
   either loaded from a JSON file (``--spec exp.json``) or assembled from the
-  command-line flags; ``--dump-spec`` writes the spec instead of running it.
+  command-line flags; ``--dump-spec`` writes the spec instead of running it;
+* ``repro studies`` -- print the registered study definitions;
+* ``repro study run|ls|diff|report`` -- the sweep workflow: expand a
+  :class:`repro.study.StudySpec` (a registered name such as
+  ``sweep-cluster-sizes``, or a JSON file) into its experiment grid, execute
+  it into a persistent :class:`repro.store.ResultStore` (cells already in
+  the store are skipped, so re-running is a cheap no-op), then list the
+  stored runs, diff two of them metric-by-metric, or render a markdown
+  report::
+
+      repro study run sweep-cluster-sizes --store ./study-store \
+        --param sizes='[1,2,4]'
+      repro study ls --store ./study-store
+      repro study diff --store ./study-store RUN_A RUN_B
+      repro study report --store ./study-store --study sweep-cluster-sizes
 
 Workloads are scenarios: ``run``, ``compare``, ``plan`` and ``trace`` accept
 ``--scenario`` (any name from ``repro scenarios``) plus repeatable
@@ -36,9 +50,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.analysis.reporting import format_table, print_report
+from repro.analysis.reporting import (
+    format_run_diff,
+    format_study_report,
+    format_table,
+    print_report,
+)
 from repro.api import (
     ClusterSpec,
     ExperimentResult,
@@ -48,6 +69,8 @@ from repro.api import (
     run_planner_study,
 )
 from repro.sim.systems import available_systems, system_descriptions
+from repro.store import IndexEntry, ResultStore
+from repro.study import StudyRunner, StudySpec, make_study, study_descriptions
 from repro.workloads.model_configs import get_model_config, list_model_configs
 from repro.workloads.scenarios import available_scenarios, scenario_descriptions
 from repro.workloads.trace_io import save_trace, summarize_trace
@@ -91,7 +114,77 @@ def build_parser() -> argparse.ArgumentParser:
                           "('-' for stdout) and exit without running")
     run.add_argument("--output", type=str, default=None,
                      help="optional path to save the JSON experiment result")
+
+    sub.add_parser("studies", help="list the registered study definitions")
+
+    study = sub.add_parser(
+        "study", help="run sweeps into a persistent result store")
+    ssub = study.add_subparsers(dest="study_command", required=True)
+
+    study_run = ssub.add_parser(
+        "run", help="expand a study into its grid and execute it (resumable)")
+    study_run.add_argument("study",
+                           help="registered study name (see 'repro studies') "
+                                "or a StudySpec JSON file")
+    _add_store_arg(study_run)
+    study_run.add_argument("--param", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="study parameter override, repeatable "
+                                "(e.g. --param sizes='[1,2,4]')")
+    study_run.add_argument("--tag", action="append", default=[],
+                           help="extra tag stored on every cell run, "
+                                "repeatable")
+    study_run.add_argument("--sequential", action="store_true",
+                           help="execute grid cells one after another "
+                                "instead of in parallel worker processes")
+    study_run.add_argument("--no-resume", action="store_true",
+                           help="re-execute cells even when their run is "
+                                "already in the store")
+    study_run.add_argument("--dump-spec", type=str, default=None,
+                           metavar="PATH",
+                           help="write the expanded StudySpec as JSON to "
+                                "PATH ('-' for stdout) and exit without "
+                                "running")
+
+    study_ls = ssub.add_parser("ls", help="list the runs stored in a store")
+    _add_store_arg(study_ls)
+    study_ls.add_argument("--name", type=str, default=None,
+                          help="filter by experiment name ('prefix*' allowed)")
+    study_ls.add_argument("--system", type=str, default=None,
+                          help="filter by system key")
+    study_ls.add_argument("--scenario", type=str, default=None,
+                          help="filter by routing scenario")
+    study_ls.add_argument("--cluster-size", type=int, default=None,
+                          help="filter by total device count")
+    study_ls.add_argument("--tag", type=str, default=None,
+                          help="filter by tag")
+
+    study_diff = ssub.add_parser(
+        "diff", help="per-system, per-metric deltas between two stored runs")
+    study_diff.add_argument("run_a", help="base run id")
+    study_diff.add_argument("run_b", help="other run id")
+    _add_store_arg(study_diff)
+
+    study_report = ssub.add_parser(
+        "report", help="render the stored runs of a study as markdown")
+    _add_store_arg(study_report)
+    study_report.add_argument("--study", type=str, default=None,
+                              help="restrict to runs of one study "
+                                   "(tag 'study:<name>')")
+    study_report.add_argument("--tag", type=str, default=None,
+                              help="restrict to runs carrying a tag")
+    study_report.add_argument("--baseline", type=str, default=None,
+                              help="also report regressions against runs "
+                                   "tagged with this baseline tag")
+    study_report.add_argument("--output", type=str, default=None,
+                              help="write the markdown report to a file "
+                                   "instead of stdout")
     return parser
+
+
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", type=str, required=True,
+                        help="result-store directory")
 
 
 def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
@@ -304,6 +397,197 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_studies(_: argparse.Namespace) -> int:
+    rows = [{"study": name, "description": description}
+            for name, description in study_descriptions().items()]
+    print_report(format_table(rows, title="Registered study definitions"))
+    return 0
+
+
+def _load_study(args: argparse.Namespace) -> StudySpec:
+    """Resolve the study argument: registry name or JSON file path.
+
+    Registered names win, so a stray file or directory in the working
+    directory named like a study (e.g. a store created with
+    ``--store sweep-cluster-sizes``) cannot shadow the registry.
+    """
+    params = _scenario_params(args.param)
+    if args.study.lower() not in study_descriptions() and (
+            args.study.endswith(".json") or Path(args.study).is_file()):
+        if params:
+            raise ValueError("--param only applies to registered studies; "
+                             "edit the JSON spec instead")
+        return StudySpec.load(args.study)
+    return make_study(args.study, **params)
+
+
+def _entry_rows(entries: Sequence[IndexEntry]) -> List[Dict[str, Any]]:
+    """One table row per (stored run, system) with the indexed metrics."""
+    rows: List[Dict[str, Any]] = []
+    for entry in entries:
+        for system in entry.systems:
+            metrics = entry.metrics.get(system, {})
+            rows.append({
+                "run_id": entry.run_id,
+                "cell": entry.name,
+                "scenario": entry.scenario,
+                "gpus": entry.num_devices,
+                "system": system,
+                "tok_s": round(metrics.get("throughput", 0.0), 1),
+                "speedup": round(metrics.get("speedup_vs_reference", 0.0), 3),
+                "rel_max_tokens": round(
+                    metrics.get("mean_relative_max_tokens", 0.0), 3),
+            })
+    return rows
+
+
+def cmd_study_run(args: argparse.Namespace) -> int:
+    try:
+        study = _load_study(args)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load study {args.study!r}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.dump_spec:
+        if args.dump_spec == "-":
+            print(study.to_json())
+            return 0
+        try:
+            path = study.save(args.dump_spec)
+        except OSError as error:
+            print(f"error: cannot write study spec to {args.dump_spec!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        print(f"Study spec saved to {path}")
+        return 0
+    store = ResultStore(args.store)
+    runner = StudyRunner(store, parallel=not args.sequential)
+    report = runner.run(study, tags=args.tag, resume=not args.no_resume)
+    by_run = {entry.run_id: entry for entry in store.entries()}
+    rows = []
+    for cell in report.cells:
+        entry = by_run.get(cell.run_id)
+        for row in _entry_rows([entry] if entry else []):
+            rows.append({"cell": cell.cell_id, "status": cell.status,
+                         **{k: v for k, v in row.items() if k != "cell"}})
+    print_report(format_table(
+        rows, title=f"Study {study.name!r} ({report.execution_mode})"))
+    print(report.summary())
+    return 0
+
+
+def _open_store(path: str) -> Optional[ResultStore]:
+    """Open an existing store for the read-only commands (None + error if
+    the directory does not exist, so typos don't read as empty stores)."""
+    if not Path(path).is_dir():
+        print(f"error: no result store at {path!r}", file=sys.stderr)
+        return None
+    return ResultStore(path)
+
+
+def cmd_study_ls(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    entries = store.query(name=args.name, system=args.system,
+                          scenario=args.scenario,
+                          cluster_size=args.cluster_size, tag=args.tag)
+    rows = [{
+        "run_id": entry.run_id,
+        "name": entry.name,
+        "scenario": entry.scenario,
+        "cluster": f"{entry.num_nodes}x{entry.devices_per_node}",
+        "systems": "+".join(entry.systems),
+        "tags": ",".join(entry.tags),
+        "created": time.strftime("%Y-%m-%d %H:%M:%S",
+                                 time.localtime(entry.created_at)),
+    } for entry in entries]
+    print_report(format_table(
+        rows, title=f"Stored runs in {store.root} ({len(rows)})"))
+    return 0
+
+
+def cmd_study_diff(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        diff = store.diff(args.run_a, args.run_b)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    print_report(format_run_diff(
+        diff.as_rows(), title=f"{args.run_a} -> {args.run_b}"))
+    if diff.systems_only_in_a:
+        print(f"only in {args.run_a}: {', '.join(diff.systems_only_in_a)}")
+    if diff.systems_only_in_b:
+        print(f"only in {args.run_b}: {', '.join(diff.systems_only_in_b)}")
+    return 0
+
+
+def cmd_study_report(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    tags = [tag for tag in
+            (f"study:{args.study}" if args.study else None, args.tag)
+            if tag]
+    entries = store.entries()
+    for tag in tags:
+        entries = [entry for entry in entries if tag in entry.tags]
+    if not entries:
+        tagged = f" tagged {' and '.join(repr(t) for t in tags)}" if tags else ""
+        print(f"error: no stored runs{tagged} in {store.root}",
+              file=sys.stderr)
+        return 2
+    sections: Dict[str, List[Dict[str, Any]]] = {}
+    if args.baseline:
+        # Scope the regression scan to the runs this report covers, so one
+        # study's report cannot pick up another study's baselines.
+        covered = {entry.run_id for entry in entries}
+        reports = [report for report in store.regressions(args.baseline)
+                   if report.baseline_run in covered
+                   or report.candidate_run in covered]
+        regression_rows: List[Dict[str, Any]] = []
+        for report in reports:
+            for regressed in report.regressed_metrics:
+                regression_rows.append({
+                    "baseline_run": report.baseline_run,
+                    "candidate_run": report.candidate_run,
+                    **regressed.as_row(),
+                })
+        sections[f"Regressions vs {args.baseline!r}"] = (
+            regression_rows or [{"status": "none detected"}])
+    title = args.study or f"runs in {store.root}"
+    tagged = (" tagged " + " and ".join(f"`{t}`" for t in tags)) if tags else ""
+    intro = f"{len(entries)} stored run(s){tagged}."
+    text = format_study_report(title, _entry_rows(entries),
+                               intro=intro, sections=sections)
+    if args.output:
+        try:
+            Path(args.output).write_text(text)
+        except OSError as error:
+            print(f"error: cannot write report to {args.output!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"Report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+STUDY_COMMANDS = {
+    "run": cmd_study_run,
+    "ls": cmd_study_ls,
+    "diff": cmd_study_diff,
+    "report": cmd_study_report,
+}
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    return STUDY_COMMANDS[args.study_command](args)
+
+
 COMMANDS = {
     "models": cmd_models,
     "systems": cmd_systems,
@@ -312,6 +596,8 @@ COMMANDS = {
     "compare": cmd_compare,
     "plan": cmd_plan,
     "run": cmd_run,
+    "studies": cmd_studies,
+    "study": cmd_study,
 }
 
 

@@ -1,0 +1,38 @@
+"""Persistent result store: one JSON per run, content-hashed ids, an index.
+
+See :class:`repro.store.result_store.ResultStore` -- the accumulation layer
+the study subsystem (:mod:`repro.study`) writes every sweep cell into, and
+the substrate of ``repro study ls / diff / report``.
+"""
+
+from repro.store.result_store import (
+    DIFF_METRICS,
+    IndexEntry,
+    MetricDelta,
+    RegressedMetric,
+    RegressionEntry,
+    ResultStore,
+    RunDiff,
+    StoredRun,
+    SystemDiff,
+    canonical_spec_json,
+    diff_results,
+    run_id_for,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "DIFF_METRICS",
+    "IndexEntry",
+    "MetricDelta",
+    "RegressedMetric",
+    "RegressionEntry",
+    "ResultStore",
+    "RunDiff",
+    "StoredRun",
+    "SystemDiff",
+    "canonical_spec_json",
+    "diff_results",
+    "run_id_for",
+    "spec_fingerprint",
+]

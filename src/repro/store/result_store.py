@@ -1,0 +1,615 @@
+"""Directory-backed persistent store for :class:`ExperimentResult` objects.
+
+The store is the accumulation layer beneath the study subsystem
+(:mod:`repro.study`): every experiment a sweep executes is written as one
+JSON file whose *run id* is content-hashed from the spec (plus the run's
+tags), so re-running an identical cell finds its previous result instead of
+recomputing it -- that lookup is what makes study resume work -- and two
+stores produced on different machines from the same specs agree on every
+file name.
+
+Layout on disk::
+
+    <root>/
+        index.json            # incrementally maintained run index
+        runs/<run_id>.json    # one envelope per stored run
+
+Each run file is a self-contained envelope (``run_id``, ``fingerprint``,
+``created_at``, ``tags`` and the full ``result`` dict), so ``index.json``
+is a pure cache: :meth:`ResultStore.rebuild_index` regenerates it from a
+cold directory and every read path falls back to a rebuild when the index
+is missing or corrupt.  All writes go through a temp-file + ``os.replace``
+dance, so a crashed writer never leaves a half-written run or index behind.
+
+On top of storage the store answers cross-run questions:
+
+* :meth:`ResultStore.query` filters the index by experiment name, system,
+  scenario, cluster size or tag;
+* :meth:`ResultStore.diff` compares two stored runs system-by-system and
+  metric-by-metric (handling runs with disjoint systems or breakdown
+  components);
+* :meth:`ResultStore.regressions` matches baseline-tagged runs with their
+  newest non-baseline counterpart (same spec fingerprint) and flags metric
+  deltas that fall beyond a threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.runner import ExperimentResult
+from repro.api.specs import ExperimentSpec
+
+#: Current on-disk envelope format; bump on incompatible layout changes.
+STORE_FORMAT = 1
+
+#: Metrics indexed and diffed per system, in report order (each names a
+#: ``SystemResult`` attribute).  ``breakdown.*`` components are added to
+#: diffs dynamically from the stored breakdowns.
+DIFF_METRICS = (
+    "throughput",
+    "mean_iteration_s",
+    "speedup_vs_reference",
+    "mean_relative_max_tokens",
+)
+
+
+# ----------------------------------------------------------------------
+# Run identity
+# ----------------------------------------------------------------------
+def canonical_spec_json(spec: ExperimentSpec) -> str:
+    """The canonical JSON form of a spec (sorted keys, no whitespace)."""
+    return json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def spec_fingerprint(spec: ExperimentSpec) -> str:
+    """Content hash identifying the spec (hex sha256)."""
+    return hashlib.sha256(canonical_spec_json(spec).encode()).hexdigest()
+
+
+def _slug(name: str, max_length: int = 48) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    return slug[:max_length].rstrip("-") or "run"
+
+
+def run_id_for(spec: ExperimentSpec, tags: Sequence[str] = ()) -> str:
+    """Deterministic run id: spec-name slug + hash of spec content and tags.
+
+    Tags are part of the identity so the same spec can be stored once per
+    tag set (e.g. a ``baseline``-tagged run next to an untagged re-run),
+    which is what :meth:`ResultStore.regressions` compares.
+    """
+    payload = canonical_spec_json(spec) + "\n" + json.dumps(sorted(set(tags)))
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    return f"{_slug(spec.name)}-{digest[:12]}"
+
+
+# ----------------------------------------------------------------------
+# Stored envelopes and index entries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoredRun:
+    """One persisted run: the result plus its store metadata."""
+
+    run_id: str
+    fingerprint: str
+    created_at: float
+    tags: Tuple[str, ...]
+    result: ExperimentResult
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": STORE_FORMAT,
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "tags": list(self.tags),
+            "result": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StoredRun":
+        return cls(
+            run_id=str(data["run_id"]),
+            fingerprint=str(data["fingerprint"]),
+            created_at=float(data["created_at"]),
+            tags=tuple(str(t) for t in data.get("tags", ())),
+            result=ExperimentResult.from_dict(data["result"]),
+        )
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """Queryable summary of one stored run (one row of ``index.json``)."""
+
+    run_id: str
+    fingerprint: str
+    created_at: float
+    tags: Tuple[str, ...]
+    name: str
+    model: str
+    scenario: str
+    num_nodes: int
+    devices_per_node: int
+    systems: Tuple[str, ...]
+    reference: str
+    execution_mode: str
+    metrics: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+    @property
+    def num_devices(self) -> int:
+        return self.num_nodes * self.devices_per_node
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "tags": list(self.tags),
+            "name": self.name,
+            "model": self.model,
+            "scenario": self.scenario,
+            "num_nodes": self.num_nodes,
+            "devices_per_node": self.devices_per_node,
+            "systems": list(self.systems),
+            "reference": self.reference,
+            "execution_mode": self.execution_mode,
+            "metrics": {k: dict(v) for k, v in self.metrics.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IndexEntry":
+        return cls(
+            run_id=str(data["run_id"]),
+            fingerprint=str(data["fingerprint"]),
+            created_at=float(data["created_at"]),
+            tags=tuple(str(t) for t in data.get("tags", ())),
+            name=str(data["name"]),
+            model=str(data["model"]),
+            scenario=str(data["scenario"]),
+            num_nodes=int(data["num_nodes"]),
+            devices_per_node=int(data["devices_per_node"]),
+            systems=tuple(str(s) for s in data.get("systems", ())),
+            reference=str(data.get("reference", "")),
+            execution_mode=str(data.get("execution_mode", "")),
+            metrics={str(k): dict(v)
+                     for k, v in data.get("metrics", {}).items()},
+        )
+
+    @classmethod
+    def from_run(cls, run: StoredRun) -> "IndexEntry":
+        spec = run.result.spec
+        metrics = {
+            key: {name: float(getattr(result, name)) for name in DIFF_METRICS}
+            for key, result in run.result.systems.items()
+        }
+        return cls(
+            run_id=run.run_id,
+            fingerprint=run.fingerprint,
+            created_at=run.created_at,
+            tags=run.tags,
+            name=spec.name,
+            model=spec.workload.model,
+            scenario=spec.workload.scenario,
+            num_nodes=spec.cluster.num_nodes,
+            devices_per_node=spec.cluster.devices_per_node,
+            systems=spec.system_keys,
+            reference=run.result.reference,
+            execution_mode=run.result.execution_mode,
+            metrics=metrics,
+        )
+
+
+# ----------------------------------------------------------------------
+# Diffs and regressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared between two runs."""
+
+    metric: str
+    base: float
+    other: float
+
+    @property
+    def delta(self) -> float:
+        return self.other - self.base
+
+    @property
+    def rel_delta(self) -> float:
+        """Relative change versus the base value.
+
+        A zero base with a nonzero other is a signed infinity (a 0 -> X
+        change must register as a change -- and trip regression thresholds
+        -- not read as +0.00%); 0 -> 0 is 0.0.
+        """
+        if self.base == 0:
+            if self.other == 0:
+                return 0.0
+            return math.copysign(math.inf, self.other)
+        return (self.other - self.base) / abs(self.base)
+
+    def as_row(self, system: str) -> Dict[str, Any]:
+        return {
+            "system": system,
+            "metric": self.metric,
+            "base": self.base,
+            "other": self.other,
+            "delta": self.delta,
+            "rel_delta": self.rel_delta,
+        }
+
+
+@dataclass(frozen=True)
+class SystemDiff:
+    """Per-metric comparison of one system present in both runs."""
+
+    system: str
+    metrics: Tuple[MetricDelta, ...]
+    metrics_only_in_a: Tuple[str, ...] = ()
+    metrics_only_in_b: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """Structured comparison of two stored runs."""
+
+    run_a: str
+    run_b: str
+    systems: Tuple[SystemDiff, ...]
+    systems_only_in_a: Tuple[str, ...] = ()
+    systems_only_in_b: Tuple[str, ...] = ()
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        """Flatten to table rows for the CLI / report renderers."""
+        rows: List[Dict[str, Any]] = []
+        for system in self.systems:
+            for delta in system.metrics:
+                rows.append(delta.as_row(system.system))
+        return rows
+
+    def find(self, system: str, metric: str) -> Optional[MetricDelta]:
+        for entry in self.systems:
+            if entry.system == system:
+                for delta in entry.metrics:
+                    if delta.metric == metric:
+                        return delta
+        return None
+
+
+@dataclass(frozen=True)
+class RegressedMetric:
+    """One regressed metric, attributed to the system it belongs to."""
+
+    system: str
+    delta: MetricDelta
+
+    def as_row(self) -> Dict[str, Any]:
+        return self.delta.as_row(self.system)
+
+
+@dataclass(frozen=True)
+class RegressionEntry:
+    """A baseline-tagged run compared against its newest re-run."""
+
+    fingerprint: str
+    baseline_run: str
+    candidate_run: str
+    diff: RunDiff
+    regressed_metrics: Tuple[RegressedMetric, ...]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressed_metrics)
+
+
+def _result_metrics(result: "ExperimentResult", key: str) -> Dict[str, float]:
+    system = result.systems[key]
+    metrics = {name: float(getattr(system, name)) for name in DIFF_METRICS}
+    for component, seconds in system.breakdown_s.items():
+        metrics[f"breakdown.{component}"] = seconds
+    return metrics
+
+
+def diff_results(run_a: str, result_a: ExperimentResult,
+                 run_b: str, result_b: ExperimentResult) -> RunDiff:
+    """Compare two results system-by-system, metric-by-metric.
+
+    Systems present in only one run are listed, not diffed; within a shared
+    system, metrics present on only one side (e.g. breakdown components of
+    different system families) are likewise listed rather than zero-filled.
+    """
+    keys_a = list(result_a.systems)
+    keys_b = list(result_b.systems)
+    shared = [key for key in keys_a if key in result_b.systems]
+    system_diffs = []
+    for key in shared:
+        metrics_a = _result_metrics(result_a, key)
+        metrics_b = _result_metrics(result_b, key)
+        deltas = tuple(
+            MetricDelta(metric=name, base=metrics_a[name],
+                        other=metrics_b[name])
+            for name in metrics_a if name in metrics_b)
+        system_diffs.append(SystemDiff(
+            system=key,
+            metrics=deltas,
+            metrics_only_in_a=tuple(sorted(set(metrics_a) - set(metrics_b))),
+            metrics_only_in_b=tuple(sorted(set(metrics_b) - set(metrics_a))),
+        ))
+    return RunDiff(
+        run_a=run_a,
+        run_b=run_b,
+        systems=tuple(system_diffs),
+        systems_only_in_a=tuple(k for k in keys_a if k not in result_b.systems),
+        systems_only_in_b=tuple(k for k in keys_b if k not in result_a.systems),
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Directory of experiment results with an incrementally maintained index.
+
+    Args:
+        root: Store directory; created (with the ``runs/`` subdirectory) on
+            first use.
+
+    The store is safe against crashed writers (atomic temp-file renames) and
+    against a stale or deleted ``index.json`` (reads rebuild it from the run
+    files).  It is *not* a concurrent database: two processes writing the
+    same store simultaneously may lose index increments, which the next
+    :meth:`rebuild_index` repairs.
+    """
+
+    INDEX_NAME = "index.json"
+    RUNS_DIR = "runs"
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / self.RUNS_DIR
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def run_path(self, run_id: str) -> Path:
+        return self.runs_dir / f"{run_id}.json"
+
+    # -- atomic writes --------------------------------------------------
+    @staticmethod
+    def _atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+        """Serialize first, then temp-file + rename, so readers never see a
+        partial file and a crash mid-write leaves the old contents intact."""
+        text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    # -- writing --------------------------------------------------------
+    def put(self, result: ExperimentResult, tags: Sequence[str] = (),
+            created_at: Optional[float] = None) -> StoredRun:
+        """Persist one result (overwriting any previous run of the same id).
+
+        Returns the :class:`StoredRun` envelope actually written.  The index
+        is updated incrementally in the same call.
+        """
+        tags = tuple(sorted({str(t) for t in tags}))
+        run = StoredRun(
+            run_id=run_id_for(result.spec, tags),
+            fingerprint=spec_fingerprint(result.spec),
+            created_at=time.time() if created_at is None else float(created_at),
+            tags=tags,
+            result=result,
+        )
+        self._atomic_write_json(self.run_path(run.run_id), run.to_dict())
+        # Load with the rebuild fallback: writing an increment on top of a
+        # missing/corrupt index must not mask the older runs on disk.
+        index = self._load_index()
+        index[run.run_id] = IndexEntry.from_run(run).to_dict()
+        self._write_index(index)
+        return run
+
+    def tag(self, run_id: str, *tags: str) -> StoredRun:
+        """Return a copy of a stored run re-stored under additional tags.
+
+        Because tags are part of the run identity, this writes a *new* run
+        file (the original is untouched) -- the idiom for blessing a run as
+        e.g. the ``baseline`` of :meth:`regressions`.
+        """
+        run = self.get(run_id)
+        return self.put(run.result, tags=run.tags + tuple(tags),
+                        created_at=run.created_at)
+
+    def delete(self, run_id: str) -> bool:
+        """Remove a run (and its index row); returns whether it existed."""
+        path = self.run_path(run_id)
+        existed = path.exists()
+        if existed:
+            path.unlink()
+        index = self._load_index()  # rebuild fallback, as in put()
+        if index.pop(run_id, None) is not None or existed:
+            self._write_index(index)
+        return existed
+
+    # -- reading --------------------------------------------------------
+    def get(self, run_id: str) -> StoredRun:
+        """Load one stored run by id (raising ``KeyError`` if absent)."""
+        path = self.run_path(run_id)
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in store {self.root}")
+        return StoredRun.from_dict(json.loads(path.read_text()))
+
+    def get_result(self, run_id: str) -> ExperimentResult:
+        """Load just the :class:`ExperimentResult` of one run."""
+        return self.get(run_id).result
+
+    def __contains__(self, run_id: object) -> bool:
+        return isinstance(run_id, str) and self.run_path(run_id).exists()
+
+    def has_spec(self, spec: ExperimentSpec, tags: Sequence[str] = ()) -> bool:
+        """Whether a run of this exact spec (and tag set) is stored."""
+        tags = tuple(sorted({str(t) for t in tags}))
+        return run_id_for(spec, tags) in self
+
+    def run_ids(self) -> List[str]:
+        """All stored run ids (from the run files, not the index)."""
+        if not self.runs_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.runs_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    # -- index ----------------------------------------------------------
+    def _write_index(self, index: Mapping[str, Mapping[str, Any]]) -> None:
+        self._atomic_write_json(self.index_path,
+                                {"format": STORE_FORMAT, "runs": dict(index)})
+
+    def _load_index(self, rebuild_if_missing: bool = True) -> Dict[str, Dict[str, Any]]:
+        try:
+            payload = json.loads(self.index_path.read_text())
+            runs = payload["runs"]
+            if not isinstance(runs, dict):
+                raise ValueError("malformed index")
+            return dict(runs)
+        except (OSError, ValueError, KeyError):
+            # Only rebuild when run files actually exist: reads against a
+            # nonexistent (e.g. mistyped) store path must stay read-only
+            # rather than conjure an empty store directory there.
+            if not rebuild_if_missing or not self.runs_dir.is_dir():
+                return {}
+            self.rebuild_index()
+            try:
+                return dict(json.loads(self.index_path.read_text())["runs"])
+            except (OSError, ValueError, KeyError):
+                return {}
+
+    def rebuild_index(self) -> int:
+        """Regenerate ``index.json`` from the run files; returns the count.
+
+        This is the cold-start / repair path: the index is a cache, the run
+        files are the truth.  Unreadable run files are skipped (they would
+        otherwise wedge every store operation after a partial copy).
+        """
+        index: Dict[str, Dict[str, Any]] = {}
+        for run_id in self.run_ids():
+            try:
+                run = self.get(run_id)
+            except (KeyError, ValueError, TypeError, json.JSONDecodeError):
+                continue
+            index[run_id] = IndexEntry.from_run(run).to_dict()
+        self._write_index(index)
+        return len(index)
+
+    def entries(self) -> List[IndexEntry]:
+        """All index entries, oldest first."""
+        entries = [IndexEntry.from_dict(data)
+                   for data in self._load_index().values()]
+        return sorted(entries, key=lambda e: (e.created_at, e.run_id))
+
+    def query(self, name: Optional[str] = None,
+              system: Optional[str] = None,
+              scenario: Optional[str] = None,
+              cluster_size: Optional[int] = None,
+              tag: Optional[str] = None,
+              fingerprint: Optional[str] = None) -> List[IndexEntry]:
+        """Filter the index; all criteria are ANDed, ``None`` means any.
+
+        Args:
+            name: Experiment name, or a prefix ending in ``*``
+                (``"sweep/*"`` matches every cell of a study).
+            system: System key that must appear in the run.
+            scenario: Workload scenario name.
+            cluster_size: Total device count (``num_nodes * devices_per_node``).
+            tag: Tag that must be present on the run.
+            fingerprint: Exact spec fingerprint.
+        """
+        def matches(entry: IndexEntry) -> bool:
+            if name is not None:
+                if name.endswith("*"):
+                    if not entry.name.startswith(name[:-1]):
+                        return False
+                elif entry.name != name:
+                    return False
+            if system is not None and system not in entry.systems:
+                return False
+            if scenario is not None and entry.scenario != scenario:
+                return False
+            if cluster_size is not None and entry.num_devices != cluster_size:
+                return False
+            if tag is not None and tag not in entry.tags:
+                return False
+            if fingerprint is not None and entry.fingerprint != fingerprint:
+                return False
+            return True
+
+        return [entry for entry in self.entries() if matches(entry)]
+
+    # -- cross-run comparisons ------------------------------------------
+    def diff(self, run_a: str, run_b: str) -> RunDiff:
+        """Per-system, per-metric comparison of two stored runs."""
+        return diff_results(run_a, self.get_result(run_a),
+                            run_b, self.get_result(run_b))
+
+    def regressions(self, baseline_tag: str,
+                    metrics: Sequence[str] = ("throughput",),
+                    threshold: float = 0.05) -> List[RegressionEntry]:
+        """Compare baseline-tagged runs against their newest re-runs.
+
+        For every spec fingerprint that has both a run tagged
+        ``baseline_tag`` and at least one run *without* that tag, diff the
+        baseline against the newest non-baseline run and collect the deltas
+        of ``metrics`` whose relative change is worse than ``threshold``
+        (lower is worse for throughput/speedup; higher is worse for times
+        and imbalance).
+        """
+        entries = self.entries()
+        baselines = {e.fingerprint: e for e in entries
+                     if baseline_tag in e.tags}
+        reports: List[RegressionEntry] = []
+        for fingerprint, baseline in sorted(baselines.items()):
+            candidates = [e for e in entries
+                          if e.fingerprint == fingerprint
+                          and baseline_tag not in e.tags]
+            if not candidates:
+                continue
+            candidate = max(candidates, key=lambda e: (e.created_at, e.run_id))
+            diff = self.diff(baseline.run_id, candidate.run_id)
+            regressed = []
+            for system in diff.systems:
+                for delta in system.metrics:
+                    if delta.metric not in metrics:
+                        continue
+                    higher_is_better = delta.metric in (
+                        "throughput", "speedup_vs_reference")
+                    change = delta.rel_delta
+                    if ((higher_is_better and change < -threshold)
+                            or (not higher_is_better and change > threshold)):
+                        regressed.append(RegressedMetric(
+                            system=system.system, delta=delta))
+            reports.append(RegressionEntry(
+                fingerprint=fingerprint,
+                baseline_run=baseline.run_id,
+                candidate_run=candidate.run_id,
+                diff=diff,
+                regressed_metrics=tuple(regressed),
+            ))
+        return reports

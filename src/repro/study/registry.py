@@ -1,0 +1,207 @@
+"""Decorator-based registry of named study definitions.
+
+Mirrors the system registry (:mod:`repro.sim.systems`) and the scenario
+registry (:mod:`repro.workloads.scenarios`): studies are referenced by name
+from the CLI (``repro study run sweep-cluster-sizes``), parameter typos are
+rejected at build time, and users register their own studies without
+editing this module::
+
+    from repro.study import StudyAxes, StudySpec, register_study
+
+    @register_study("my-sweep", description="scenario sweep at 16 GPUs")
+    def _build(iterations: int = 8) -> StudySpec:
+        ...
+
+The built-in ``sweep-cluster-sizes`` study reproduces the Table 4 axis:
+the same workload replayed on growing clusters (weak scaling -- per-device
+batch constant), comparing the paper's system against static FSDP+EP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
+
+from repro.api.specs import ClusterSpec, ExperimentSpec, WorkloadSpec
+from repro.study.spec import StudyAxes, StudySpec
+from repro.workloads.scenarios import (
+    accepted_factory_params,
+    check_factory_params,
+)
+
+#: Signature of a registered study factory.
+StudyFactory = Callable[..., StudySpec]
+
+
+@dataclass(frozen=True)
+class RegisteredStudy:
+    """One registry entry: a factory plus its bound default parameters."""
+
+    name: str
+    factory: StudyFactory
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def accepted_params(self) -> Optional[FrozenSet[str]]:
+        """Parameter names the factory accepts, or ``None`` for ``**kwargs``."""
+        return accepted_factory_params(self.factory, skip=0)
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        """Raise ``ValueError`` for parameters the factory does not accept."""
+        check_factory_params(f"study {self.name!r}", self.factory, 0, params)
+
+    def build(self, **overrides: object) -> StudySpec:
+        """Invoke the factory with the bound parameters (plus overrides)."""
+        merged = {**dict(self.params), **overrides}
+        self.check_params(merged)
+        return self.factory(**merged)
+
+
+_STUDY_REGISTRY: Dict[str, RegisteredStudy] = {}
+
+
+def register_study(name: str, *, description: str = "",
+                   override: bool = False,
+                   **params: object) -> Callable[[StudyFactory], StudyFactory]:
+    """Decorator registering a study factory under ``name``."""
+    def decorator(factory: StudyFactory) -> StudyFactory:
+        entry = RegisteredStudy(name=name.lower(), factory=factory,
+                                params=dict(params), description=description)
+        if not override and entry.name in _STUDY_REGISTRY:
+            raise ValueError(
+                f"study {entry.name!r} is already registered; pass "
+                f"override=True to replace it")
+        entry.check_params(entry.params)
+        _STUDY_REGISTRY[entry.name] = entry
+        return factory
+    return decorator
+
+
+def unregister_study(name: str) -> None:
+    """Remove a registry entry (mainly for tests and interactive use)."""
+    _STUDY_REGISTRY.pop(name.lower(), None)
+
+
+def registered_study(name: str) -> RegisteredStudy:
+    """Look up a registry entry, raising ``ValueError`` for unknown names."""
+    try:
+        return _STUDY_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown study {name!r}; available: {available_studies()}"
+        ) from None
+
+
+def available_studies() -> List[str]:
+    """Names accepted by :func:`make_study`, in registration order."""
+    return list(_STUDY_REGISTRY)
+
+
+def study_descriptions() -> Dict[str, str]:
+    """Registry names mapped to their one-line descriptions."""
+    return {name: entry.description
+            for name, entry in _STUDY_REGISTRY.items()}
+
+
+def make_study(name: str, **overrides: object) -> StudySpec:
+    """Build one of the registered studies (with parameter overrides)."""
+    return registered_study(name).build(**overrides)
+
+
+# ----------------------------------------------------------------------
+# Built-in studies
+# ----------------------------------------------------------------------
+@register_study(
+    "sweep-cluster-sizes",
+    description="Table 4 axis: weak-scaling systems grid over cluster sizes")
+def _build_sweep_cluster_sizes(
+        sizes: Sequence[int] = (1, 2, 4, 8),
+        devices_per_node: int = 8,
+        model: str = "mixtral-8x7b-e8k2",
+        systems: Sequence[str] = ("fsdp_ep", "laer"),
+        reference: str = "fsdp_ep",
+        scenario: str = "drifting",
+        tokens_per_device: int = 8192,
+        layers: int = 2,
+        iterations: int = 6,
+        warmup: int = 2,
+        skew: float = 0.45,
+        seed: int = 51) -> StudySpec:
+    """The cluster-size scaling grid of the paper's Table 4 (Appendix D).
+
+    Weak scaling: ``tokens_per_device`` stays constant while ``sizes`` (node
+    counts) grow, and every cell replays the statistically identical routing
+    distribution (same scenario, same seed), so the systems axis isolates
+    how the compared designs react to scale alone.
+    """
+    base = ExperimentSpec(
+        name="tab4",
+        cluster=ClusterSpec(num_nodes=int(sizes[0]),
+                            devices_per_node=devices_per_node),
+        workload=WorkloadSpec(
+            model=model,
+            tokens_per_device=tokens_per_device,
+            layers=layers,
+            iterations=iterations,
+            warmup=warmup,
+            skew=skew,
+            seed=seed,
+            scenario=scenario,
+        ),
+        systems=tuple(systems),
+        reference=reference,
+    )
+    return StudySpec(
+        name="sweep-cluster-sizes",
+        base=base,
+        axes=StudyAxes(cluster_sizes=tuple(int(size) for size in sizes)),
+        description="systems x cluster-size weak-scaling grid (Table 4)",
+    )
+
+
+@register_study(
+    "sweep-scenarios",
+    description="systems grid over every registered routing scenario")
+def _build_sweep_scenarios(
+        scenarios: Sequence[str] = (),
+        num_nodes: int = 2,
+        devices_per_node: int = 8,
+        model: str = "mixtral-8x7b-e8k2",
+        systems: Sequence[str] = ("fsdp_ep", "laer"),
+        reference: str = "fsdp_ep",
+        tokens_per_device: int = 8192,
+        layers: int = 2,
+        iterations: int = 8,
+        warmup: int = 2,
+        seed: int = 17) -> StudySpec:
+    """Robustness sweep: the same comparison under every routing regime.
+
+    With no explicit ``scenarios`` the study covers every *directly
+    runnable* registry entry (scenarios whose parameters all have defaults,
+    which excludes e.g. ``trace-replay`` -- it needs a recording path).
+    """
+    from repro.workloads.scenarios import default_runnable_scenarios
+
+    if not scenarios:
+        scenarios = default_runnable_scenarios()
+    base = ExperimentSpec(
+        name="scenarios",
+        cluster=ClusterSpec(num_nodes=num_nodes,
+                            devices_per_node=devices_per_node),
+        workload=WorkloadSpec(
+            model=model,
+            tokens_per_device=tokens_per_device,
+            layers=layers,
+            iterations=iterations,
+            warmup=warmup,
+            seed=seed,
+        ),
+        systems=tuple(systems),
+        reference=reference,
+    )
+    return StudySpec(
+        name="sweep-scenarios",
+        base=base,
+        axes=StudyAxes(scenarios=tuple(scenarios)),
+        description="systems x routing-scenario grid",
+    )

@@ -1,0 +1,260 @@
+"""Execute study grids cell by cell, with resume, into a result store.
+
+:class:`StudyRunner` is the sweep-level sibling of
+:class:`repro.api.ExperimentRunner`: it expands a :class:`StudySpec` into
+its grid, skips every cell whose run is already in the
+:class:`~repro.store.ResultStore` (resume -- re-running a finished study is
+a no-op), and executes the remaining cells either sequentially or in
+parallel worker processes.  Cell-level parallelism reuses the engine's
+execution-mode policy (:func:`repro.sim.engine.resolve_execution_mode`):
+a parallel request is demoted on small hosts or tiny grids, and worker-pool
+infrastructure failures fall back to sequential execution with a warning --
+exactly the semantics ``compare_systems`` applies across systems, applied
+across grid cells.  When cells run in parallel, each cell's systems run
+sequentially inside its worker (nesting process pools loses on every
+host this code targets).
+
+Every executed cell is written to the store tagged ``"study:<name>"`` (plus
+the study's and the caller's tags), which is what ``repro study report``
+queries.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.runner import ExperimentResult, ExperimentRunner
+from repro.api.specs import ExperimentSpec
+from repro.sim.engine import resolve_execution_mode
+from repro.store import ResultStore, run_id_for
+from repro.study.spec import StudyCell, StudySpec
+
+
+def study_tag(study: StudySpec) -> str:
+    """The tag marking every stored run of a study (``"study:<name>"``)."""
+    return f"study:{study.name}"
+
+
+def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
+    """Module-level worker so parallel executors can pickle the call."""
+    return ExperimentRunner(parallel=False).run(spec)
+
+
+class StudyStoreError(RuntimeError):
+    """Persisting a finished cell to the result store failed.
+
+    Distinct from pool-infrastructure errors so a full disk or unwritable
+    store aborts the study immediately instead of being mistaken for a
+    broken worker pool (which would re-simulate the grid sequentially into
+    the same write failure).  The original exception is the ``__cause__``.
+    """
+
+    def __init__(self, cell_id: str, original: BaseException):
+        super().__init__(
+            f"cannot store study cell {cell_id!r}: "
+            f"{type(original).__name__}: {original}")
+        self.cell_id = cell_id
+
+
+class StudyCellError(RuntimeError):
+    """A grid cell's simulation failed (as opposed to pool infrastructure).
+
+    Raised with the failing cell's id so a deterministic error -- a bad
+    trace path, an incompatible cluster size -- is reported as such instead
+    of being mistaken for a broken worker pool (which would pointlessly
+    re-run the grid sequentially into the same error).  The original
+    exception is the ``__cause__``.
+    """
+
+    def __init__(self, cell_id: str, original: BaseException):
+        super().__init__(
+            f"study cell {cell_id!r} failed: "
+            f"{type(original).__name__}: {original}")
+        self.cell_id = cell_id
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one grid cell during a study run."""
+
+    cell_id: str
+    run_id: str
+    status: str  # "executed" | "skipped"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cell_id": self.cell_id, "run_id": self.run_id,
+                "status": self.status}
+
+
+@dataclass
+class StudyReport:
+    """Outcome of one :meth:`StudyRunner.run` invocation."""
+
+    study: str
+    store_root: str
+    tags: Tuple[str, ...]
+    execution_mode: str
+    cells: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def executed(self) -> List[CellOutcome]:
+        return [cell for cell in self.cells if cell.status == "executed"]
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        return [cell for cell in self.cells if cell.status == "skipped"]
+
+    @property
+    def run_ids(self) -> List[str]:
+        return [cell.run_id for cell in self.cells]
+
+    def summary(self) -> str:
+        """One-line, machine-greppable outcome (used by the CI smoke step)."""
+        return (f"study {self.study!r}: {len(self.cells)} cells, "
+                f"executed {len(self.executed)}, skipped {len(self.skipped)} "
+                f"({self.execution_mode}; store: {self.store_root})")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "study": self.study,
+            "store_root": self.store_root,
+            "tags": list(self.tags),
+            "execution_mode": self.execution_mode,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+class StudyRunner:
+    """Expand a study, resume from the store, execute the remaining cells.
+
+    Args:
+        store: Result store every cell run is written to (and resume reads).
+        parallel: Execute pending cells in parallel worker processes when
+            the grid and the host are big enough (the engine's demotion
+            policy applies); sequential execution runs each cell through a
+            system-parallel :class:`ExperimentRunner` instead.
+        max_workers: Worker-process cap for the parallel path.
+    """
+
+    def __init__(self, store: ResultStore, parallel: bool = True,
+                 max_workers: Optional[int] = None) -> None:
+        self.store = store
+        self.parallel = parallel
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    def run_tags(self, study: StudySpec,
+                 tags: Sequence[str] = ()) -> Tuple[str, ...]:
+        """The full tag set attached to (and looked up for) a study's runs."""
+        return tuple(sorted({study_tag(study), *study.tags,
+                             *(str(t) for t in tags)}))
+
+    def run(self, study: StudySpec, tags: Sequence[str] = (),
+            resume: bool = True) -> StudyReport:
+        """Execute one study into the store.
+
+        Args:
+            study: The study to run.
+            tags: Extra tags for this invocation (tags are part of run
+                identity, so runs under new tags do not resume from runs
+                stored under old ones).
+            resume: Skip cells whose run id already exists in the store.
+
+        Returns:
+            A :class:`StudyReport` listing every cell as executed or
+            skipped, with the cell-level execution mode actually used.
+        """
+        all_tags = self.run_tags(study, tags)
+        cells = study.expand()
+        pending: List[StudyCell] = []
+        outcomes: Dict[str, CellOutcome] = {}
+        for cell in cells:
+            run_id = run_id_for(cell.spec, all_tags)
+            if resume and run_id in self.store:
+                outcomes[cell.cell_id] = CellOutcome(
+                    cell_id=cell.cell_id, run_id=run_id, status="skipped")
+            else:
+                pending.append(cell)
+
+        # Every cell is persisted the moment its simulation finishes, so a
+        # mid-study failure (one bad cell, a killed process) loses only the
+        # unfinished cells -- the next run resumes past everything stored.
+        def persist(cell: StudyCell, result: ExperimentResult) -> None:
+            try:
+                stored = self.store.put(result, tags=all_tags)
+            except Exception as exc:
+                raise StudyStoreError(cell.cell_id, exc) from exc
+            outcomes[cell.cell_id] = CellOutcome(
+                cell_id=cell.cell_id, run_id=stored.run_id, status="executed")
+
+        mode = resolve_execution_mode(self.parallel, len(pending))
+        if not pending:
+            mode = "resumed"
+        elif mode == "parallel":
+            try:
+                self._run_parallel(pending, persist)
+            except (pickle.PickleError, AttributeError, TypeError,
+                    BrokenExecutor, OSError) as error:
+                warnings.warn(
+                    f"parallel study execution unavailable "
+                    f"({type(error).__name__}: {error}); "
+                    f"falling back to sequential execution", RuntimeWarning)
+                mode = "sequential-fallback"
+                remaining = [cell for cell in pending
+                             if cell.cell_id not in outcomes]
+                self._run_sequential(remaining, persist)
+        else:
+            self._run_sequential(pending, persist)
+
+        return StudyReport(
+            study=study.name,
+            store_root=str(self.store.root),
+            tags=all_tags,
+            execution_mode=mode,
+            cells=[outcomes[cell.cell_id] for cell in cells],
+        )
+
+    # ------------------------------------------------------------------
+    def _run_parallel(
+            self, cells: Sequence[StudyCell],
+            persist: Callable[[StudyCell, ExperimentResult], None]) -> None:
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {pool.submit(_run_cell, cell.spec): cell
+                       for cell in cells}
+            error: Optional[StudyCellError] = None
+            for future in as_completed(futures):
+                cell = futures[future]
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    raise  # pool infrastructure died: let run() fall back
+                except Exception as exc:  # persist the finished cells first
+                    if error is None:
+                        error = StudyCellError(cell.cell_id, exc)
+                        error.__cause__ = exc
+                    continue
+                persist(cell, result)
+            if error is not None:
+                raise error
+
+    def _run_sequential(
+            self, cells: Sequence[StudyCell],
+            persist: Callable[[StudyCell, ExperimentResult], None]) -> None:
+        runner = ExperimentRunner(parallel=self.parallel,
+                                  max_workers=self.max_workers)
+        for cell in cells:
+            persist(cell, runner.run(cell.spec))
+
+
+def run_study(study: StudySpec, store: ResultStore,
+              tags: Sequence[str] = (), parallel: bool = True,
+              max_workers: Optional[int] = None,
+              resume: bool = True) -> StudyReport:
+    """Convenience wrapper: run ``study`` into ``store`` with a fresh runner."""
+    return StudyRunner(store, parallel=parallel,
+                       max_workers=max_workers).run(study, tags=tags,
+                                                    resume=resume)

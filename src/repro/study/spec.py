@@ -1,0 +1,253 @@
+"""Declarative study specifications: axes expanded into experiment grids.
+
+A :class:`StudySpec` is to a sweep what :class:`repro.api.ExperimentSpec` is
+to a single comparison: a frozen, JSON-round-trippable description.  It
+holds a *base* experiment plus :class:`StudyAxes` -- system sets, scenarios,
+scenario parameters and cluster sizes -- and :meth:`StudySpec.expand`
+produces the full cartesian grid of derived :class:`ExperimentSpec`s, one
+per :class:`StudyCell`.  The paper's headline tables are exactly such
+grids (Table 4 sweeps cluster sizes against a fixed system pair), which the
+built-in ``sweep-cluster-sizes`` study in :mod:`repro.study.registry`
+reproduces.
+
+Cells are pure data: each carries a human-readable ``cell_id`` (its
+coordinates along the non-trivial axes) and a derived spec whose name is
+``"<study>/<cell_id>"``, so results written to a
+:class:`repro.store.ResultStore` stay attributable to their grid position.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.api.specs import (
+    ExperimentSpec,
+    SystemSpec,
+    _check_fields,
+)
+from repro.workloads.scenarios import registered_scenario
+
+
+def _format_params(params: Mapping[str, Any]) -> str:
+    if not params:
+        return "default"
+    return ",".join(f"{key}={params[key]}" for key in sorted(params))
+
+
+@dataclass(frozen=True)
+class StudyAxes:
+    """The sweep dimensions of a study; empty axes keep the base's value.
+
+    Attributes:
+        systems: System *sets*, one grid point each; entries may be bare
+            registry names, mappings or :class:`SystemSpec` objects, and a
+            plain string is promoted to a one-system set.
+        scenarios: Routing-scenario names
+            (:func:`repro.workloads.scenarios.available_scenarios`).
+        scenario_params: Scenario parameter dicts, combined with the
+            scenario axis as a product; each dict must be valid for *every*
+            scenario in ``scenarios`` (spec expansion validates).
+        cluster_sizes: ``num_nodes`` values; the base cluster supplies
+            ``devices_per_node`` and the link parameters, so the total
+            device count of a cell is ``size * base.cluster.devices_per_node``.
+    """
+
+    systems: Tuple[Tuple[SystemSpec, ...], ...] = ()
+    scenarios: Tuple[str, ...] = ()
+    scenario_params: Tuple[Mapping[str, Any], ...] = ()
+    cluster_sizes: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        normalized = []
+        for point in self.systems:
+            if isinstance(point, (str, Mapping, SystemSpec)):
+                point = (point,)
+            normalized.append(tuple(
+                entry if isinstance(entry, SystemSpec)
+                else SystemSpec.from_dict(entry)
+                for entry in point))
+        object.__setattr__(self, "systems", tuple(normalized))
+        scenarios = tuple(registered_scenario(name).name
+                          for name in self.scenarios)
+        object.__setattr__(self, "scenarios", scenarios)
+        object.__setattr__(self, "scenario_params",
+                           tuple(dict(p) for p in self.scenario_params))
+        sizes = tuple(int(size) for size in self.cluster_sizes)
+        if any(size <= 0 for size in sizes):
+            raise ValueError("cluster_sizes must be positive node counts")
+        if len(set(sizes)) != len(sizes):
+            raise ValueError("cluster_sizes must be distinct")
+        object.__setattr__(self, "cluster_sizes", sizes)
+
+    @property
+    def num_cells(self) -> int:
+        count = 1
+        for axis in (self.systems, self.scenarios, self.scenario_params,
+                     self.cluster_sizes):
+            count *= max(1, len(axis))
+        return count
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "systems": [[entry.to_dict() for entry in point]
+                        for point in self.systems],
+            "scenarios": list(self.scenarios),
+            "scenario_params": [dict(p) for p in self.scenario_params],
+            "cluster_sizes": list(self.cluster_sizes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudyAxes":
+        _check_fields(cls, data)
+        return cls(**{key: tuple(value) for key, value in data.items()})
+
+
+@dataclass(frozen=True)
+class StudyCell:
+    """One grid point: its coordinates and the derived experiment spec."""
+
+    cell_id: str
+    coords: Mapping[str, Any]
+    spec: ExperimentSpec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"cell_id": self.cell_id, "coords": dict(self.coords),
+                "spec": self.spec.to_dict()}
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A complete, reproducible sweep: base experiment + axes (+ tags).
+
+    Attributes:
+        name: Study name; cell specs are named ``"<name>/<cell_id>"`` and
+            runs are tagged ``"study:<name>"`` when executed through
+            :class:`repro.study.StudyRunner`.
+        base: Template experiment every cell derives from.
+        axes: Sweep dimensions (empty axes keep the base's values).
+        tags: Extra tags attached to every stored cell run.
+        description: One-line summary (shown by ``repro studies``).
+    """
+
+    name: str = "study"
+    base: ExperimentSpec = field(default_factory=ExperimentSpec)
+    axes: StudyAxes = field(default_factory=StudyAxes)
+    tags: Tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("study name must be non-empty")
+        if not isinstance(self.base, ExperimentSpec):
+            object.__setattr__(self, "base",
+                               ExperimentSpec.from_dict(self.base))
+        if not isinstance(self.axes, StudyAxes):
+            object.__setattr__(self, "axes",
+                               StudyAxes.from_dict(self.axes))
+        object.__setattr__(self, "tags",
+                           tuple(str(tag) for tag in self.tags))
+
+    @property
+    def num_cells(self) -> int:
+        return self.axes.num_cells
+
+    # ------------------------------------------------------------------
+    # Grid expansion
+    # ------------------------------------------------------------------
+    def expand(self) -> Tuple[StudyCell, ...]:
+        """Expand the axes into the full grid of experiment specs.
+
+        The grid is the cartesian product systems x scenarios x
+        scenario-params x cluster-sizes; an empty axis contributes the
+        base's value and no ``cell_id`` component.  Expansion validates
+        every derived spec (scenario parameters included), so a bad axis
+        combination fails before any simulation starts.
+        """
+        system_axis: Sequence[Optional[Tuple[SystemSpec, ...]]] = (
+            self.axes.systems or (None,))
+        scenario_axis: Sequence[Optional[str]] = self.axes.scenarios or (None,)
+        params_axis: Sequence[Optional[Mapping[str, Any]]] = (
+            self.axes.scenario_params or (None,))
+        size_axis: Sequence[Optional[int]] = self.axes.cluster_sizes or (None,)
+
+        cells: List[StudyCell] = []
+        for systems, scenario, params, size in itertools.product(
+                system_axis, scenario_axis, params_axis, size_axis):
+            parts: List[str] = []
+            coords: Dict[str, Any] = {}
+            spec = self.base
+            if systems is not None:
+                spec = spec.with_systems(systems)
+                coords["systems"] = [s.key for s in systems]
+                parts.append("+".join(s.key for s in systems))
+            if scenario is not None or params is not None:
+                workload = replace(
+                    spec.workload,
+                    scenario=(scenario if scenario is not None
+                              else spec.workload.scenario),
+                    params=(dict(params) if params is not None
+                            else dict(spec.workload.params)))
+                spec = replace(spec, workload=workload)
+            if scenario is not None:
+                coords["scenario"] = scenario
+                parts.append(scenario)
+            if params is not None:
+                coords["params"] = dict(params)
+                parts.append(_format_params(params))
+            if size is not None:
+                spec = replace(spec, cluster=replace(spec.cluster,
+                                                     num_nodes=size))
+                coords["num_nodes"] = size
+                parts.append(f"n{size}x{spec.cluster.devices_per_node}")
+            cell_id = "/".join(parts) if parts else "base"
+            cells.append(StudyCell(
+                cell_id=cell_id,
+                coords=coords,
+                spec=replace(spec, name=f"{self.name}/{cell_id}")))
+        return tuple(cells)
+
+    # ------------------------------------------------------------------
+    # Serialization (lossless JSON round-trip, like the experiment specs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "axes": self.axes.to_dict(),
+            "tags": list(self.tags),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        _check_fields(cls, data)
+        kwargs: Dict[str, Any] = dict(data)
+        if "base" in kwargs:
+            kwargs["base"] = ExperimentSpec.from_dict(kwargs["base"])
+        if "axes" in kwargs:
+            kwargs["axes"] = StudyAxes.from_dict(kwargs["axes"])
+        if "tags" in kwargs:
+            kwargs["tags"] = tuple(kwargs["tags"])
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the study spec to a JSON file and return the path."""
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "StudySpec":
+        """Load a study spec from a JSON file."""
+        return cls.from_json(Path(path).read_text())

@@ -30,23 +30,36 @@ from repro.workloads.routing_traces import (
     balanced_routing,
     routing_from_assignments,
 )
-from repro.workloads.trace_io import save_trace, load_trace, summarize_trace, TraceSummary
+from repro.workloads.trace_io import (
+    TraceSummary,
+    load_assignments,
+    load_trace,
+    save_assignments,
+    save_trace,
+    summarize_trace,
+)
 from repro.workloads.scenarios import (
+    AssignmentReplayTraceSource,
     BurstyChurnTraceSource,
     DiurnalTraceSource,
     FileTraceSource,
     MixtureTraceSource,
     PhaseShiftTraceSource,
     RegisteredScenario,
+    RegisteredScenarioWrapper,
     ScenarioContext,
     StragglerTraceSource,
     SyntheticTraceSource,
     TraceSource,
     as_trace_source,
+    available_scenario_wrappers,
     available_scenarios,
+    default_runnable_scenarios,
     make_scenario,
     register_scenario,
+    register_scenario_wrapper,
     registered_scenario,
+    registered_scenario_wrapper,
     scenario_descriptions,
     unregister_scenario,
 )
@@ -75,11 +88,14 @@ __all__ = [
     "routing_from_assignments",
     "save_trace",
     "load_trace",
+    "save_assignments",
+    "load_assignments",
     "summarize_trace",
     "TraceSummary",
     "TraceSource",
     "SyntheticTraceSource",
     "FileTraceSource",
+    "AssignmentReplayTraceSource",
     "BurstyChurnTraceSource",
     "DiurnalTraceSource",
     "PhaseShiftTraceSource",
@@ -87,11 +103,16 @@ __all__ = [
     "MixtureTraceSource",
     "ScenarioContext",
     "RegisteredScenario",
+    "RegisteredScenarioWrapper",
     "register_scenario",
     "registered_scenario",
     "unregister_scenario",
+    "register_scenario_wrapper",
+    "registered_scenario_wrapper",
+    "available_scenario_wrappers",
     "make_scenario",
     "available_scenarios",
+    "default_runnable_scenarios",
     "scenario_descriptions",
     "as_trace_source",
     "SyntheticTextDataset",

@@ -26,8 +26,10 @@ first-class concepts:
           return SyntheticTraceSource(ctx.trace_config(skew=knob), ctx.iterations)
 
 Built-in scenarios: ``steady``, ``drifting`` (the historical default),
-``bursty-churn``, ``diurnal``, ``phase-shift``, ``straggler`` and
-``multi-tenant-mix``.
+``bursty-churn``, ``diurnal``, ``phase-shift``, ``straggler``,
+``multi-tenant-mix``, ``trace-replay`` (recorded per-token assignments
+replayed through :func:`routing_from_assignments`) and ``compose`` (stack
+registered *wrappers* -- e.g. straggler failures -- on any base scenario).
 """
 
 from __future__ import annotations
@@ -58,8 +60,9 @@ from repro.workloads.routing_traces import (
     RoutingTraceConfig,
     SyntheticRoutingTraceGenerator,
     draw_routing_frame,
+    routing_from_assignments,
 )
-from repro.workloads.trace_io import load_trace
+from repro.workloads.trace_io import load_assignments, load_trace
 
 
 # ----------------------------------------------------------------------
@@ -482,6 +485,115 @@ class MixtureTraceSource(TraceSourceBase):
             yield sum(next(it) for it in iterators)
 
 
+class AssignmentReplayTraceSource(TraceSourceBase):
+    """Trace-driven workload: recorded per-token assignments replayed lazily.
+
+    The ``.npz`` file (written by
+    :func:`repro.workloads.trace_io.save_assignments`) holds the raw
+    ``(iterations, layers, devices, slots)`` expert choices of a recorded
+    training run; each frame's routing matrix is rebuilt through
+    :func:`routing_from_assignments`, so the replayed workload carries the
+    *real* skew and drift of the recording rather than a synthetic model of
+    it.  Like :class:`FileTraceSource` the file is read on first access and
+    forks/pickles carry only the parameters, so worker processes re-read
+    from disk.
+
+    Recordings rarely match the simulated cluster exactly, so the source
+    adapts in two ways: integer ``scale`` multiplies every token count
+    (small numpy training runs have realistic distributions but tiny
+    absolute counts), and when the recording's device count differs from
+    ``num_devices`` the trace is re-partitioned with
+    :meth:`RoutingTrace.remap_devices` (preserving the global expert
+    distribution) -- which is what lets one recording drive a cluster-size
+    sweep.  If the requested iteration count exceeds the recording, the
+    frames cycle.
+    """
+
+    def __init__(self, path: Union[str, Path], num_experts: int, top_k: int,
+                 iterations: int, num_devices: Optional[int] = None,
+                 scale: int = 1):
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        if int(scale) <= 0:
+            raise ValueError("scale must be a positive integer")
+        self.path = Path(path)
+        self.target_experts = int(num_experts)
+        self.target_top_k = int(top_k)
+        self.iterations = int(iterations)
+        self.target_devices = None if num_devices is None else int(num_devices)
+        self.scale = int(scale)
+        self._trace: Optional[RoutingTrace] = None
+
+    def _loaded(self) -> RoutingTrace:
+        if self._trace is not None:
+            return self._trace
+        assignments = load_assignments(self.path)
+        iterations, layers, devices, slots = assignments.shape
+        if iterations == 0:
+            raise ValueError(f"assignment file {self.path} is empty")
+        if assignments.size and int(assignments.max()) >= self.target_experts:
+            raise ValueError(
+                f"assignment file {self.path} routes to expert "
+                f"{int(assignments.max())} but the model has only "
+                f"{self.target_experts} experts")
+        if slots % self.target_top_k:
+            raise ValueError(
+                f"assignment file {self.path} has {slots} slots per device, "
+                f"not divisible by top_k={self.target_top_k}")
+        frames = np.stack([
+            np.stack([routing_from_assignments(list(assignments[it, layer]),
+                                               self.target_experts)
+                      for layer in range(layers)])
+            for it in range(iterations)])
+        trace = RoutingTrace(routing=frames, top_k=self.target_top_k,
+                             tokens_per_device=slots // self.target_top_k)
+        if self.scale != 1:
+            trace = trace.scaled(self.scale)
+        if (self.target_devices is not None
+                and self.target_devices != trace.num_devices):
+            remapped = trace.remap_devices(self.target_devices)
+            # remap_devices reports the peak per-device *slot* count as
+            # tokens_per_device; divide the top_k factor back out so
+            # throughput (tokens/s) stays comparable with unremapped runs.
+            trace = RoutingTrace(
+                routing=remapped.routing, top_k=remapped.top_k,
+                tokens_per_device=max(
+                    1, -(-remapped.tokens_per_device // self.target_top_k)))
+        self._trace = trace
+        return trace
+
+    num_layers = property(lambda self: self._loaded().num_layers)
+    num_devices = property(lambda self: self._loaded().num_devices)
+    num_experts = property(lambda self: self._loaded().num_experts)
+    tokens_per_device = property(lambda self: self._loaded().tokens_per_device)
+    top_k = property(lambda self: self._loaded().top_k)
+
+    @property
+    def num_iterations(self) -> int:
+        return self.iterations
+
+    def iter_iterations(self) -> Iterator[np.ndarray]:
+        recorded = self._loaded()
+        for iteration in range(self.iterations):
+            yield recorded.routing[iteration % recorded.num_iterations]
+
+    def fork(self) -> "AssignmentReplayTraceSource":
+        return AssignmentReplayTraceSource(
+            self.path, num_experts=self.target_experts,
+            top_k=self.target_top_k, iterations=self.iterations,
+            num_devices=self.target_devices, scale=self.scale)
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Workers rebuild from disk; keep pickles parameter-sized.
+        state = dict(self.__dict__)
+        state["_trace"] = None
+        return state
+
+    def __repr__(self) -> str:
+        return (f"AssignmentReplayTraceSource({str(self.path)!r}, "
+                f"iterations={self.iterations}, scale={self.scale})")
+
+
 # ----------------------------------------------------------------------
 # Scenario registry
 # ----------------------------------------------------------------------
@@ -547,6 +659,48 @@ class ScenarioContext:
 ScenarioFactory = Callable[..., TraceSource]
 
 
+def accepted_factory_params(factory: Callable[..., object],
+                            skip: int) -> Optional[FrozenSet[str]]:
+    """Keyword parameters a registry factory accepts, ``None`` for ``**kwargs``.
+
+    Shared by the scenario, scenario-wrapper and study registries; ``skip``
+    is the number of leading positional parameters the registry supplies
+    itself (``ctx`` for scenarios, ``inner, ctx`` for wrappers, none for
+    studies).
+    """
+    params = list(inspect.signature(factory).parameters.values())[skip:]
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return None
+    return frozenset(
+        p.name for p in params
+        if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                      inspect.Parameter.KEYWORD_ONLY))
+
+
+def required_factory_params(factory: Callable[..., object],
+                            skip: int) -> FrozenSet[str]:
+    """Factory parameters without defaults (must be supplied to build)."""
+    params = list(inspect.signature(factory).parameters.values())[skip:]
+    return frozenset(
+        p.name for p in params
+        if p.default is inspect.Parameter.empty
+        and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                       inspect.Parameter.KEYWORD_ONLY))
+
+
+def check_factory_params(label: str, factory: Callable[..., object],
+                         skip: int, params: Mapping[str, object]) -> None:
+    """Raise ``ValueError`` for parameters the factory does not accept."""
+    accepted = accepted_factory_params(factory, skip)
+    if accepted is None:
+        return
+    unknown = sorted(set(params) - accepted)
+    if unknown:
+        raise ValueError(
+            f"{label} does not accept parameter(s) {unknown}; "
+            f"accepted: {sorted(accepted)}")
+
+
 @dataclass(frozen=True)
 class RegisteredScenario:
     """One registry entry: a factory plus its bound default parameters."""
@@ -558,29 +712,25 @@ class RegisteredScenario:
 
     def accepted_params(self) -> Optional[FrozenSet[str]]:
         """Parameter names the factory accepts, or ``None`` for ``**kwargs``."""
-        params = list(inspect.signature(self.factory).parameters.values())[1:]
-        if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
-            return None
-        return frozenset(
-            p.name for p in params
-            if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
-                          inspect.Parameter.KEYWORD_ONLY))
+        return accepted_factory_params(self.factory, skip=1)
 
     def check_params(self, params: Mapping[str, object]) -> None:
         """Raise ``ValueError`` for parameters the factory does not accept."""
-        accepted = self.accepted_params()
-        if accepted is None:
-            return
-        unknown = sorted(set(params) - accepted)
-        if unknown:
-            raise ValueError(
-                f"scenario {self.name!r} does not accept parameter(s) "
-                f"{unknown}; accepted: {sorted(accepted)}")
+        check_factory_params(f"scenario {self.name!r}", self.factory, 1,
+                             params)
+
+    def required_params(self) -> FrozenSet[str]:
+        """Factory parameters without defaults (must be supplied to build)."""
+        return required_factory_params(self.factory, skip=1)
 
     def build(self, ctx: ScenarioContext, **overrides: object) -> TraceSource:
         """Invoke the factory with the bound parameters (plus overrides)."""
         merged = {**dict(self.params), **overrides}
         self.check_params(merged)
+        missing = sorted(self.required_params() - set(merged))
+        if missing:
+            raise ValueError(
+                f"scenario {self.name!r} requires parameter(s) {missing}")
         return self.factory(ctx, **merged)
 
 
@@ -642,6 +792,17 @@ def scenario_descriptions() -> Dict[str, str]:
 def available_scenarios() -> List[str]:
     """Names accepted by :func:`make_scenario`, in registration order."""
     return list(_SCENARIO_REGISTRY)
+
+
+def default_runnable_scenarios() -> List[str]:
+    """Scenarios buildable with no explicit parameters.
+
+    Excludes entries with required, defaultless parameters (``trace-replay``
+    needs a recording path); sweeps that iterate "every scenario" -- the
+    ``sweep-scenarios`` study, determinism test matrices -- use this list.
+    """
+    return [name for name, entry in _SCENARIO_REGISTRY.items()
+            if not (entry.required_params() - set(entry.params))]
 
 
 def make_scenario(name: str, ctx: ScenarioContext,
@@ -732,6 +893,149 @@ def _build_multi_tenant_mix(ctx: ScenarioContext,
                              seed=ctx.seed + 7919 * tenant),
             ctx.iterations))
     return MixtureTraceSource(tuple(components))
+
+
+# ----------------------------------------------------------------------
+# Scenario wrappers (composition) and the trace-driven scenarios
+# ----------------------------------------------------------------------
+#: Signature of a registered wrapper factory: (inner, ctx, **params).
+ScenarioWrapperFactory = Callable[..., TraceSource]
+
+
+@dataclass(frozen=True)
+class RegisteredScenarioWrapper:
+    """One wrapper entry: transforms an inner source into a wrapped one."""
+
+    name: str
+    factory: ScenarioWrapperFactory
+    params: Mapping[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    def accepted_params(self) -> Optional[FrozenSet[str]]:
+        """Parameter names after ``(inner, ctx)``, or ``None`` for kwargs."""
+        return accepted_factory_params(self.factory, skip=2)
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        check_factory_params(f"scenario wrapper {self.name!r}", self.factory,
+                             2, params)
+
+    def build(self, inner: TraceSource, ctx: ScenarioContext,
+              **overrides: object) -> TraceSource:
+        merged = {**dict(self.params), **overrides}
+        self.check_params(merged)
+        return self.factory(inner, ctx, **merged)
+
+
+_WRAPPER_REGISTRY: Dict[str, RegisteredScenarioWrapper] = {}
+
+
+def register_scenario_wrapper(
+        name: str, *, description: str = "", override: bool = False,
+        **params: object) -> Callable[[ScenarioWrapperFactory],
+                                      ScenarioWrapperFactory]:
+    """Decorator registering a scenario *wrapper* under ``name``.
+
+    Wrappers transform an already-built :class:`TraceSource` (e.g. inject
+    device failures) and are stacked onto any base scenario by the
+    ``compose`` registry entry, so behaviours combine without a
+    combinatorial explosion of dedicated scenario entries.
+    """
+    def decorator(factory: ScenarioWrapperFactory) -> ScenarioWrapperFactory:
+        entry = RegisteredScenarioWrapper(
+            name=name.lower(), factory=factory, params=dict(params),
+            description=description)
+        if not override and entry.name in _WRAPPER_REGISTRY:
+            raise ValueError(
+                f"scenario wrapper {entry.name!r} is already registered; "
+                f"pass override=True to replace it")
+        entry.check_params(entry.params)
+        _WRAPPER_REGISTRY[entry.name] = entry
+        return factory
+    return decorator
+
+
+def registered_scenario_wrapper(name: str) -> RegisteredScenarioWrapper:
+    """Look up a wrapper entry, raising ``ValueError`` for unknown names."""
+    try:
+        return _WRAPPER_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario wrapper {name!r}; available: "
+            f"{available_scenario_wrappers()}") from None
+
+
+def available_scenario_wrappers() -> List[str]:
+    """Registered wrapper names, in registration order."""
+    return list(_WRAPPER_REGISTRY)
+
+
+@register_scenario_wrapper(
+    "straggler", period=6, duration=2, num_failed=1,
+    description="recurring device failures on top of any workload")
+def _wrap_straggler(inner: TraceSource, ctx: ScenarioContext, period: int = 6,
+                    duration: int = 2, num_failed: int = 1) -> TraceSource:
+    return StragglerTraceSource(inner, period=period, duration=duration,
+                                num_failed=num_failed)
+
+
+@register_scenario_wrapper(
+    "tenant-overlay", skew_factor=0.5, seed_offset=7919,
+    description="adds a second-tenant workload on top of the inner one")
+def _wrap_tenant_overlay(inner: TraceSource, ctx: ScenarioContext,
+                         skew_factor: float = 0.5,
+                         seed_offset: int = 7919) -> TraceSource:
+    overlay = SyntheticTraceSource(
+        ctx.trace_config(skew=max(0.05, ctx.skew * skew_factor),
+                         seed=ctx.seed + seed_offset),
+        ctx.iterations)
+    return MixtureTraceSource((inner, overlay))
+
+
+@register_scenario(
+    "trace-replay", scale=1,
+    description="replay recorded per-token expert assignments (.npz path)")
+def _build_trace_replay(ctx: ScenarioContext, path: str,
+                        scale: int = 1) -> TraceSource:
+    return AssignmentReplayTraceSource(
+        path, num_experts=ctx.num_experts, top_k=ctx.top_k,
+        iterations=ctx.iterations, num_devices=ctx.num_devices, scale=scale)
+
+
+@register_scenario(
+    "compose", base="diurnal",
+    description="stack scenario wrappers on a base scenario "
+                "(default: straggler-on-diurnal)")
+def _build_compose(ctx: ScenarioContext, base: str = "diurnal",
+                   base_params: Optional[Mapping[str, object]] = None,
+                   wrappers: Sequence[object] = ("straggler",)) -> TraceSource:
+    """Build ``base`` and apply ``wrappers`` innermost-first.
+
+    ``wrappers`` entries are wrapper names or ``{"name": ..., "params":
+    {...}}`` mappings (JSON-safe, so composed workloads serialize inside
+    ordinary :class:`repro.api.WorkloadSpec` params).
+    """
+    entry = registered_scenario(base)
+    if entry.name == "compose":
+        raise ValueError("compose cannot use itself as the base scenario")
+    source = entry.build(ctx, **dict(base_params or {}))
+    for wrapper in wrappers:
+        if isinstance(wrapper, str):
+            name, params = wrapper, {}
+        elif isinstance(wrapper, Mapping):
+            unknown = sorted(set(wrapper) - {"name", "params"})
+            if unknown:
+                raise ValueError(
+                    f"wrapper entries accept only 'name' and 'params' keys, "
+                    f"got {unknown}")
+            if "name" not in wrapper:
+                raise ValueError("wrapper entries need a 'name' key")
+            name = str(wrapper["name"])
+            params = dict(wrapper.get("params", {}))
+        else:
+            raise ValueError(
+                f"wrapper entries must be names or mappings, got {wrapper!r}")
+        source = registered_scenario_wrapper(name).build(source, ctx, **params)
+    return source
 
 
 def as_trace_source(workload: Union[TraceSource, RoutingTrace,

@@ -36,6 +36,47 @@ def save_trace(trace: RoutingTrace, path: Union[str, Path]) -> Path:
     return path
 
 
+def save_assignments(assignments: np.ndarray, path: Union[str, Path]) -> Path:
+    """Save recorded per-token expert assignments to a compressed ``.npz``.
+
+    ``assignments`` has shape ``(iterations, layers, num_devices, slots)``
+    where ``slots = tokens_per_device * top_k`` and each value is the expert
+    index chosen for one (token, k) slot -- the raw record a training run's
+    gating produces.  The ``trace-replay`` scenario rebuilds routing matrices
+    from such files via :func:`repro.workloads.routing_traces.routing_from_assignments`.
+    """
+    assignments = np.asarray(assignments)
+    if assignments.ndim != 4:
+        raise ValueError(
+            "assignments must have shape (iterations, layers, devices, slots)")
+    if assignments.size and assignments.min() < 0:
+        raise ValueError("expert assignments must be non-negative")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, assignments=assignments.astype(np.int64))
+    return path
+
+
+def load_assignments(path: Union[str, Path]) -> np.ndarray:
+    """Load an assignment record written by :func:`save_assignments`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no assignment file at {path}")
+    with np.load(path) as data:
+        if "assignments" not in data.files:
+            raise ValueError(
+                f"assignment file {path} is missing the 'assignments' array")
+        assignments = np.asarray(data["assignments"])
+    if assignments.ndim != 4:
+        raise ValueError(
+            f"assignment file {path} must hold a 4-d "
+            f"(iterations, layers, devices, slots) array, "
+            f"got shape {assignments.shape}")
+    return assignments
+
+
 def load_trace(path: Union[str, Path]) -> RoutingTrace:
     """Load a routing trace previously written by :func:`save_trace`."""
     path = Path(path)

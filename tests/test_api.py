@@ -302,3 +302,43 @@ class TestRunner:
         # Past warmup the planner beats (or matches) static EP.
         assert stats[-1].planned_rel_max_tokens <= stats[-1].static_rel_max_tokens
         assert stats[-1].planned_ms > 0
+
+
+class TestResultRoundTripAudit:
+    """Store round-trips must be bit-exact (regression for lossy fields)."""
+
+    def test_to_dict_is_plain_json_data(self):
+        result = run_experiment(small_spec(), parallel=False)
+
+        def walk(obj):
+            if isinstance(obj, dict):
+                for key, value in obj.items():
+                    assert type(key) is str
+                    walk(value)
+            elif isinstance(obj, list):
+                for value in obj:
+                    walk(value)
+            else:
+                # Builtin types only: numpy scalars (float64 etc.) would
+                # serialize fine but break in-memory equality with the
+                # deserialized result.
+                assert type(obj) in (str, int, float, bool, type(None)), \
+                    f"non-plain value {obj!r} of type {type(obj)}"
+
+        walk(result.to_dict())
+
+    def test_json_round_trip_is_bit_exact(self):
+        result = run_experiment(small_spec(), parallel=False)
+        text = result.to_json()
+        restored = ExperimentResult.from_json(text)
+        assert restored.to_dict() == result.to_dict()
+        assert restored.to_json() == text
+        assert restored.spec == result.spec
+        assert restored.execution_mode == result.execution_mode
+
+    def test_null_execution_mode_loads_as_default(self):
+        result = run_experiment(small_spec(), parallel=False)
+        data = result.to_dict()
+        # Hand-edited / legacy files may carry an explicit null.
+        data["execution_mode"] = None
+        assert ExperimentResult.from_dict(data).execution_mode == ""

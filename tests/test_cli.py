@@ -190,3 +190,129 @@ class TestRunCommand:
         result = ExperimentResult.load(result_path)
         assert result.reference == "fsdp_ep"
         assert result.systems["laer"].throughput > 0
+
+
+class TestStudyCommands:
+    RUN_ARGS = ["study", "run", "sweep-cluster-sizes",
+                "--param", "sizes=[1,2]", "--param", "devices_per_node=4",
+                "--param", "tokens_per_device=1024",
+                "--param", "iterations=2", "--param", "warmup=1",
+                "--sequential"]
+
+    def run_small_study(self, store):
+        return main(self.RUN_ARGS + ["--store", str(store)])
+
+    def test_studies_lists_builtins(self, capsys):
+        assert main(["studies"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-cluster-sizes" in out
+        assert "sweep-scenarios" in out
+
+    def test_run_persists_and_resumes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self.run_small_study(store) == 0
+        out = capsys.readouterr().out
+        assert "executed 2, skipped 0" in out
+        assert (store / "index.json").exists()
+        assert len(list((store / "runs").glob("*.json"))) == 2
+        # Second invocation resumes: every cell skipped, nothing recomputed.
+        assert self.run_small_study(store) == 0
+        out = capsys.readouterr().out
+        assert "executed 0, skipped 2" in out
+
+    def test_run_from_json_spec(self, tmp_path, capsys):
+        from repro.study import make_study
+
+        spec_path = tmp_path / "study.json"
+        make_study("sweep-cluster-sizes", sizes=[1], devices_per_node=4,
+                   tokens_per_device=1024, iterations=2,
+                   warmup=1).save(spec_path)
+        code = main(["study", "run", str(spec_path),
+                     "--store", str(tmp_path / "store"), "--sequential"])
+        assert code == 0
+        assert "executed 1" in capsys.readouterr().out
+
+    def test_dump_spec(self, tmp_path, capsys):
+        code = main(["study", "run", "sweep-cluster-sizes",
+                     "--param", "sizes=[1,2]",
+                     "--store", str(tmp_path / "unused"),
+                     "--dump-spec", "-"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"cluster_sizes"' in out
+        from repro.study import StudySpec
+        assert StudySpec.from_json(out).axes.cluster_sizes == (1, 2)
+
+    def test_unknown_study_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["study", "run", "no-such-study",
+                     "--store", str(tmp_path)])
+        assert code == 2
+        assert "unknown study" in capsys.readouterr().err
+
+    def test_registered_name_wins_over_same_named_path(self, tmp_path,
+                                                       capsys, monkeypatch):
+        # A stray directory named like the study (e.g. a store created as
+        # --store sweep-cluster-sizes) must not shadow the registry.
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "sweep-cluster-sizes").mkdir()
+        assert self.run_small_study(tmp_path / "store") == 0
+        assert "executed 2" in capsys.readouterr().out
+
+    def test_ls_on_missing_store_is_a_cli_error(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-store"
+        code = main(["study", "ls", "--store", str(missing)])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_ls_diff_and_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self.run_small_study(store) == 0
+        capsys.readouterr()
+
+        assert main(["study", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-cluster-sizes/n1x4" in out
+        run_ids = [line.split()[0] for line in out.splitlines()
+                   if line.startswith("sweep-cluster-sizes-")]
+        assert len(run_ids) == 2
+
+        assert main(["study", "ls", "--store", str(store),
+                     "--cluster-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "n2x4" in out and "n1x4" not in out
+
+        assert main(["study", "diff", "--store", str(store),
+                     run_ids[0], run_ids[1]]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "rel_delta" in out
+
+        report_path = tmp_path / "report.md"
+        assert main(["study", "report", "--store", str(store),
+                     "--study", "sweep-cluster-sizes",
+                     "--output", str(report_path)]) == 0
+        text = report_path.read_text()
+        assert text.startswith("# Study report: sweep-cluster-sizes")
+        assert "| run_id |" in text
+
+    def test_diff_unknown_run_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["study", "diff", "--store", str(tmp_path),
+                     "nope-a", "nope-b"])
+        assert code == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_report_empty_store_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["study", "report", "--store", str(tmp_path)])
+        assert code == 2
+        assert "no stored runs" in capsys.readouterr().err
+
+    def test_report_ands_study_and_tag_filters(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self.run_small_study(store) == 0
+        capsys.readouterr()
+        # Both filters apply: the study tag matches but "other" does not.
+        code = main(["study", "report", "--store", str(store),
+                     "--study", "sweep-cluster-sizes", "--tag", "other"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "study:sweep-cluster-sizes" in err and "other" in err

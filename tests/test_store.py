@@ -1,0 +1,309 @@
+"""Tests for the persistent result store (repro.store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentSpec,
+    SystemResult,
+    WorkloadSpec,
+)
+from repro.store import (
+    ResultStore,
+    diff_results,
+    run_id_for,
+    spec_fingerprint,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="store-test",
+        cluster=ClusterSpec(num_nodes=1, devices_per_node=4),
+        workload=WorkloadSpec(tokens_per_device=1024, layers=1,
+                              iterations=2, warmup=1, seed=11),
+        systems=("fsdp_ep", "laer"),
+        reference="fsdp_ep",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+@pytest.fixture(scope="module")
+def result() -> ExperimentResult:
+    return ExperimentRunner(parallel=False).run(small_spec())
+
+
+def fake_result(name: str, systems=("a", "b"), throughput=100.0,
+                breakdown=None) -> ExperimentResult:
+    """A hand-built result (no simulation) for fast store-semantics tests."""
+    spec = small_spec(name=name, systems=("fsdp_ep", "laer"))
+    built = {}
+    for index, key in enumerate(systems):
+        built[key] = SystemResult(
+            key=key, system="fsdp_ep", throughput=throughput * (index + 1),
+            mean_iteration_s=0.5, tokens_per_iteration=4096,
+            speedup_vs_reference=float(index + 1),
+            breakdown_s=dict(breakdown or {"expert_compute": 0.25}),
+        )
+    return ExperimentResult(spec=spec, reference=systems[0],
+                            requested_reference=systems[0], systems=built,
+                            execution_mode="sequential")
+
+
+class TestRunIdentity:
+    def test_fingerprint_is_content_addressed(self):
+        assert spec_fingerprint(small_spec()) == spec_fingerprint(small_spec())
+        assert spec_fingerprint(small_spec()) != spec_fingerprint(
+            small_spec(workload=WorkloadSpec(tokens_per_device=2048,
+                                             layers=1, iterations=2,
+                                             warmup=1, seed=11)))
+
+    def test_run_id_depends_on_tags_but_not_tag_order(self):
+        spec = small_spec()
+        assert run_id_for(spec) == run_id_for(spec)
+        assert run_id_for(spec, ["a", "b"]) == run_id_for(spec, ["b", "a"])
+        assert run_id_for(spec) != run_id_for(spec, ["baseline"])
+
+    def test_run_id_is_filesystem_safe(self):
+        spec = small_spec(name="Study/Cell n2x8, params=1")
+        run_id = run_id_for(spec)
+        assert "/" not in run_id and " " not in run_id
+        assert run_id.startswith("study-cell")
+
+
+class TestPutGetQuery:
+    def test_round_trip_is_bit_exact(self, tmp_path, result):
+        store = ResultStore(tmp_path / "store")
+        run = store.put(result, tags=["smoke"], created_at=123.0)
+        loaded = store.get(run.run_id)
+        assert loaded.result.to_dict() == result.to_dict()
+        assert loaded.tags == ("smoke",)
+        assert loaded.created_at == 123.0
+        assert run.run_id in store
+        assert store.has_spec(result.spec, tags=["smoke"])
+        assert not store.has_spec(result.spec)  # untagged id differs
+
+    def test_get_missing_run_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="no run"):
+            ResultStore(tmp_path).get("nope")
+
+    def test_reads_against_missing_store_stay_read_only(self, tmp_path):
+        store = ResultStore(tmp_path / "no-such-store")
+        assert store.entries() == []
+        assert store.query(tag="x") == []
+        # A mistyped read path must not conjure a store directory.
+        assert not (tmp_path / "no-such-store").exists()
+
+    def test_query_filters(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(result, tags=["baseline"], created_at=1.0)
+        assert len(store.query()) == 1
+        assert store.query(system="laer")
+        assert store.query(scenario="drifting")
+        assert store.query(cluster_size=4)
+        assert store.query(tag="baseline")
+        assert store.query(name="store-test")
+        assert store.query(name="store-*")
+        assert not store.query(system="megatron")
+        assert not store.query(cluster_size=8)
+        assert not store.query(tag="other")
+        assert not store.query(name="other*")
+
+    def test_delete(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)
+        assert store.delete(run.run_id)
+        assert run.run_id not in store
+        assert not store.query()
+        assert not store.delete(run.run_id)
+
+
+class TestAtomicity:
+    def test_crashed_rename_leaves_old_contents(self, tmp_path, monkeypatch,
+                                                result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)
+        before = store.run_path(run.run_id).read_text()
+
+        def boom(src, dst):
+            raise OSError("simulated crash between write and rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.put(result, created_at=2.0)
+        monkeypatch.undo()
+        # The target file still holds the previous, complete contents and
+        # no temp files leak into the store directory.
+        assert store.run_path(run.run_id).read_text() == before
+        leftovers = [p for p in store.runs_dir.iterdir()
+                     if p.name.startswith(".")]
+        assert not leftovers
+        assert store.get(run.run_id).created_at == 1.0
+
+    def test_unserializable_payload_never_touches_target(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.root / "x.json"
+        store._atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            store._atomic_write_json(path, {"bad": object()})
+        assert json.loads(path.read_text()) == {"ok": 1}
+
+
+class TestIndex:
+    def test_index_is_maintained_incrementally(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)
+        index = json.loads(store.index_path.read_text())
+        assert run.run_id in index["runs"]
+        entry = index["runs"][run.run_id]
+        assert entry["scenario"] == "drifting"
+        assert set(entry["metrics"]) == {"fsdp_ep", "laer"}
+
+    def test_rebuild_from_cold_directory(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, tags=["t"], created_at=1.0)
+        store.index_path.unlink()
+        # Reads rebuild the index transparently...
+        cold = ResultStore(tmp_path)
+        assert [e.run_id for e in cold.query(tag="t")] == [run.run_id]
+        assert cold.index_path.exists()
+        # ...and an explicit rebuild reports the run count.
+        store.index_path.unlink()
+        assert store.rebuild_index() == 1
+
+    def test_corrupt_index_is_rebuilt(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)
+        store.index_path.write_text("{not json")
+        assert [e.run_id for e in store.entries()] == [run.run_id]
+
+    def test_rebuild_skips_unreadable_run_files(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(result, created_at=1.0)
+        (store.runs_dir / "broken.json").write_text("{truncated")
+        assert store.rebuild_index() == 1
+
+    def test_put_on_missing_index_does_not_mask_older_runs(self, tmp_path,
+                                                           result):
+        store = ResultStore(tmp_path)
+        old = store.put(result, tags=["old"], created_at=1.0)
+        store.index_path.unlink()
+        new = store.put(result, tags=["new"], created_at=2.0)
+        ids = {entry.run_id for entry in store.entries()}
+        assert ids == {old.run_id, new.run_id}
+
+    def test_delete_on_corrupt_index_does_not_mask_older_runs(self, tmp_path,
+                                                              result):
+        store = ResultStore(tmp_path)
+        keep = store.put(result, tags=["keep"], created_at=1.0)
+        gone = store.put(result, tags=["gone"], created_at=2.0)
+        store.index_path.write_text("{not json")
+        assert store.delete(gone.run_id)
+        assert [entry.run_id for entry in store.entries()] == [keep.run_id]
+
+
+class TestDiff:
+    def test_diff_per_metric_deltas(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = store.put(fake_result("a", throughput=100.0), created_at=1.0)
+        b = store.put(fake_result("b", throughput=110.0), created_at=2.0)
+        diff = store.diff(a.run_id, b.run_id)
+        delta = diff.find("a", "throughput")
+        assert delta.base == 100.0 and delta.other == 110.0
+        assert delta.delta == pytest.approx(10.0)
+        assert delta.rel_delta == pytest.approx(0.1)
+        assert not diff.systems_only_in_a and not diff.systems_only_in_b
+        rows = diff.as_rows()
+        assert {"system", "metric", "base", "other", "delta",
+                "rel_delta"} <= set(rows[0])
+
+    def test_diff_with_disjoint_systems_and_metrics(self):
+        result_a = fake_result("a", systems=("shared", "only_a"),
+                               breakdown={"expert_compute": 0.2,
+                                          "relayout": 0.01})
+        result_b = fake_result("b", systems=("shared", "only_b"),
+                               breakdown={"expert_compute": 0.3})
+        diff = diff_results("ra", result_a, "rb", result_b)
+        assert diff.systems_only_in_a == ("only_a",)
+        assert diff.systems_only_in_b == ("only_b",)
+        (shared,) = diff.systems
+        assert shared.system == "shared"
+        assert shared.metrics_only_in_a == ("breakdown.relayout",)
+        assert shared.metrics_only_in_b == ()
+        assert {d.metric for d in shared.metrics} >= {
+            "throughput", "breakdown.expert_compute"}
+
+    def test_zero_base_rel_delta_registers_the_change(self):
+        import math
+
+        result_a = fake_result("a", throughput=0.0)
+        result_b = fake_result("b", throughput=5.0)
+        diff = diff_results("ra", result_a, "rb", result_b)
+        # 0 -> X must read as an (infinite) change, not as +0.00%.
+        assert math.isinf(diff.find("a", "throughput").rel_delta)
+        assert diff.find("a", "throughput").rel_delta > 0
+        # 0 -> 0 genuinely is no change.
+        both_zero = diff_results("ra", fake_result("a", throughput=0.0),
+                                 "rb", fake_result("b", throughput=0.0))
+        assert both_zero.find("a", "throughput").rel_delta == 0.0
+
+    def test_zero_baseline_metric_growth_is_flagged(self, tmp_path):
+        store = ResultStore(tmp_path)
+        baseline = fake_result("exp", breakdown={"exposed_comm": 0.0})
+        store.put(baseline, tags=["baseline"], created_at=1.0)
+        worse = fake_result("exp", breakdown={"exposed_comm": 0.1})
+        store.put(worse, created_at=2.0)
+        (report,) = store.regressions(
+            "baseline", metrics=("breakdown.exposed_comm",), threshold=0.05)
+        assert report.regressed
+
+
+class TestRegressions:
+    def test_throughput_drop_is_flagged(self, tmp_path):
+        store = ResultStore(tmp_path)
+        baseline = fake_result("exp", throughput=100.0)
+        store.put(baseline, tags=["baseline"], created_at=1.0)
+        regressed = fake_result("exp", throughput=80.0)
+        store.put(regressed, created_at=2.0)
+        reports = store.regressions("baseline", threshold=0.05)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.regressed
+        metrics = {r.delta.metric for r in report.regressed_metrics}
+        assert "throughput" in metrics
+        # Each regression is attributed to the system it belongs to.
+        assert {r.system for r in report.regressed_metrics} == {"a", "b"}
+        assert report.regressed_metrics[0].as_row()["system"] in ("a", "b")
+
+    def test_improvement_is_not_flagged(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_result("exp", throughput=100.0), tags=["baseline"],
+                  created_at=1.0)
+        store.put(fake_result("exp", throughput=120.0), created_at=2.0)
+        (report,) = store.regressions("baseline")
+        assert not report.regressed
+
+    def test_higher_iteration_time_is_a_regression(self, tmp_path):
+        store = ResultStore(tmp_path)
+        slow = fake_result("exp")
+        for system in slow.systems.values():
+            system.mean_iteration_s = 1.0
+        store.put(fake_result("exp"), tags=["baseline"], created_at=1.0)
+        store.put(slow, created_at=2.0)
+        (report,) = store.regressions(
+            "baseline", metrics=("mean_iteration_s",), threshold=0.05)
+        assert report.regressed
+
+    def test_tag_helper_creates_comparable_copy(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = store.put(fake_result("exp"), created_at=1.0)
+        tagged = store.tag(run.run_id, "baseline")
+        assert tagged.run_id != run.run_id
+        assert set(tagged.tags) == {"baseline"}
+        assert len(store) == 2

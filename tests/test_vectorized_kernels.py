@@ -35,7 +35,11 @@ from repro.workloads.routing_traces import (
     RoutingTraceConfig,
     draw_routing_frame,
 )
-from repro.workloads.scenarios import ScenarioContext, available_scenarios, make_scenario
+from repro.workloads.scenarios import (
+    ScenarioContext,
+    default_runnable_scenarios,
+    make_scenario,
+)
 
 RTOL = 1e-9
 
@@ -318,7 +322,7 @@ class TestScenarioDeterminism:
                           tokens_per_device=256, top_k=2, iterations=6,
                           seed=21)
 
-    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    @pytest.mark.parametrize("name", sorted(default_runnable_scenarios()))
     def test_two_independent_builds_agree(self, name):
         first = list(make_scenario(name, self.CTX).iter_iterations())
         second = list(make_scenario(name, self.CTX).iter_iterations())
@@ -326,7 +330,7 @@ class TestScenarioDeterminism:
         for a, b in zip(first, second):
             assert np.array_equal(a, b)
 
-    @pytest.mark.parametrize("name", sorted(available_scenarios()))
+    @pytest.mark.parametrize("name", sorted(default_runnable_scenarios()))
     def test_seed_changes_the_draws(self, name):
         other = ScenarioContext(num_devices=4, num_experts=8, num_layers=2,
                                 tokens_per_device=256, top_k=2, iterations=6,

@@ -6,6 +6,7 @@ import pytest
 from repro.workloads.routing_traces import (
     RoutingTraceConfig,
     SyntheticRoutingTraceGenerator,
+    routing_from_assignments,
 )
 from repro.workloads.scenarios import (
     BurstyChurnTraceSource,
@@ -23,7 +24,7 @@ from repro.workloads.scenarios import (
     scenario_descriptions,
     unregister_scenario,
 )
-from repro.workloads.trace_io import save_trace
+from repro.workloads.trace_io import save_assignments, save_trace
 
 CTX = ScenarioContext(num_devices=4, num_experts=8, num_layers=2,
                       tokens_per_device=512, top_k=2, iterations=8, seed=5)
@@ -91,7 +92,7 @@ class TestRegistry:
 class TestBuiltinSources:
     @pytest.mark.parametrize("name", [
         "steady", "drifting", "bursty-churn", "diurnal", "phase-shift",
-        "straggler", "multi-tenant-mix",
+        "straggler", "multi-tenant-mix", "compose",
     ])
     def test_shapes_dtype_and_token_conservation(self, name):
         source = make_scenario(name, CTX)
@@ -114,7 +115,7 @@ class TestBuiltinSources:
 
     @pytest.mark.parametrize("name", [
         "steady", "drifting", "bursty-churn", "diurnal", "phase-shift",
-        "straggler", "multi-tenant-mix",
+        "straggler", "multi-tenant-mix", "compose",
     ])
     def test_restartable_fork_and_materialize_agree(self, name):
         source = make_scenario(name, CTX)
@@ -249,3 +250,165 @@ class TestRoutingTraceAsSource:
         assert trace.fork() is trace
         assert trace.materialize() is trace
         assert np.array_equal(frames[2], trace.iteration(2))
+
+
+class TestTraceReplayScenario:
+    """The trace-driven scenario: recorded assignments -> routing frames."""
+
+    def record(self, tmp_path, iterations=3, layers=2, devices=4, slots=1024,
+               experts=8, seed=0):
+        rng = np.random.default_rng(seed)
+        assignments = rng.integers(
+            0, experts, size=(iterations, layers, devices, slots))
+        return save_assignments(assignments, tmp_path / "rec.npz"), assignments
+
+    def test_replay_matches_routing_from_assignments(self, tmp_path):
+        path, assignments = self.record(tmp_path)
+        source = make_scenario("trace-replay", CTX, path=str(path))
+        frames = list(source.iter_iterations())
+        assert len(frames) == CTX.iterations
+        expected = routing_from_assignments(
+            list(assignments[0, 0]), CTX.num_experts)
+        assert np.array_equal(frames[0][0], expected)
+        # tokens_per_device derives from the recording (slots / top_k).
+        assert source.tokens_per_device == 1024 // CTX.top_k
+
+    def test_replay_cycles_when_recording_is_short(self, tmp_path):
+        path, _ = self.record(tmp_path, iterations=3)
+        source = make_scenario("trace-replay", CTX, path=str(path))
+        frames = list(source.iter_iterations())
+        assert np.array_equal(frames[0], frames[3])
+        assert not np.array_equal(frames[0], frames[1])
+
+    def test_scale_multiplies_counts(self, tmp_path):
+        path, _ = self.record(tmp_path)
+        base = make_scenario("trace-replay", CTX, path=str(path))
+        scaled = make_scenario("trace-replay", CTX, path=str(path), scale=3)
+        first = next(iter(base.iter_iterations()))
+        assert np.array_equal(next(iter(scaled.iter_iterations())), 3 * first)
+
+    def test_device_remap_preserves_global_expert_loads(self, tmp_path):
+        path, _ = self.record(tmp_path, devices=2)
+        source = make_scenario("trace-replay", CTX, path=str(path))
+        frame = next(iter(source.iter_iterations()))
+        assert frame.shape[1] == CTX.num_devices
+        # tokens_per_device stays in *token* units after the remap: the
+        # 2-device 1024-slot recording spread over 4 devices is ~512 slots
+        # = ~256 tokens each (plus at most one remainder slot per expert),
+        # NOT ~512 "tokens" (the slot count, which would double throughput).
+        lower = 2 * 1024 // 4 // CTX.top_k
+        upper = -(-(2 * 1024 // 4 + CTX.num_experts) // CTX.top_k)
+        assert lower <= source.tokens_per_device <= upper
+        recorded = make_scenario(
+            "trace-replay",
+            ScenarioContext(num_devices=2, num_experts=8, num_layers=2,
+                            tokens_per_device=512, top_k=2, iterations=8),
+            path=str(path))
+        original = next(iter(recorded.iter_iterations()))
+        assert np.array_equal(frame.sum(axis=1), original.sum(axis=1))
+
+    def test_missing_path_is_a_value_error(self):
+        with pytest.raises(ValueError, match="requires parameter"):
+            make_scenario("trace-replay", CTX)
+
+    def test_lazy_and_fork_pickle_safe(self, tmp_path):
+        import pickle
+
+        path, _ = self.record(tmp_path)
+        source = make_scenario("trace-replay", CTX, path=str(path))
+        first = list(source.iter_iterations())
+        forked = list(source.fork().iter_iterations())
+        pickled = list(pickle.loads(pickle.dumps(source)).iter_iterations())
+        for a, b, c in zip(first, forked, pickled):
+            assert np.array_equal(a, b) and np.array_equal(a, c)
+
+    def test_out_of_range_expert_rejected(self, tmp_path):
+        assignments = np.full((1, 2, 4, 64), 9)  # expert 9 of 8
+        path = save_assignments(assignments, tmp_path / "bad.npz")
+        source = make_scenario("trace-replay", CTX, path=str(path))
+        with pytest.raises(ValueError, match="only"):
+            list(source.iter_iterations())
+
+
+class TestComposeScenario:
+    def test_default_is_straggler_on_diurnal(self):
+        composed = make_scenario("compose", CTX)
+        manual = StragglerTraceSource(
+            make_scenario("diurnal", CTX))
+        for a, b in zip(composed.iter_iterations(),
+                        manual.iter_iterations()):
+            assert np.array_equal(a, b)
+
+    def test_base_params_and_wrapper_params_forwarded(self):
+        composed = make_scenario(
+            "compose", CTX, base="diurnal", base_params={"period": 4},
+            wrappers=[{"name": "straggler",
+                       "params": {"period": 3, "duration": 1}}])
+        manual = StragglerTraceSource(
+            make_scenario("diurnal", CTX, period=4), period=3, duration=1)
+        for a, b in zip(composed.iter_iterations(),
+                        manual.iter_iterations()):
+            assert np.array_equal(a, b)
+
+    def test_wrappers_stack_in_order(self):
+        composed = make_scenario(
+            "compose", CTX, base="steady",
+            wrappers=["straggler", "tenant-overlay"])
+        frames = list(composed.iter_iterations())
+        assert len(frames) == CTX.iterations
+        # The overlay adds a second tenant's tokens on top.
+        assert composed.tokens_per_device > CTX.tokens_per_device
+
+    def test_self_composition_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            make_scenario("compose", CTX, base="compose")
+
+    def test_unknown_wrapper_and_bad_entries_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario wrapper"):
+            make_scenario("compose", CTX, wrappers=["no-such-wrapper"])
+        with pytest.raises(ValueError, match="'name'"):
+            make_scenario("compose", CTX, wrappers=[{"params": {}}])
+        with pytest.raises(ValueError, match="only 'name' and 'params'"):
+            make_scenario("compose", CTX,
+                          wrappers=[{"name": "straggler", "extra": 1}])
+        with pytest.raises(ValueError, match="does not accept"):
+            make_scenario("compose", CTX,
+                          wrappers=[{"name": "straggler",
+                                     "params": {"bogus": 1}}])
+
+    def test_user_registered_wrapper(self):
+        from repro.workloads.scenarios import (
+            _WRAPPER_REGISTRY,
+            available_scenario_wrappers,
+            register_scenario_wrapper,
+        )
+
+        @register_scenario_wrapper("double", description="wrapper test")
+        def _double(inner, ctx):
+            trace = inner.materialize()
+            trace.routing = trace.routing * 2
+            return trace
+
+        try:
+            assert "double" in available_scenario_wrappers()
+            composed = make_scenario("compose", CTX, base="steady",
+                                     wrappers=["double"])
+            base = make_scenario("steady", CTX)
+            assert np.array_equal(
+                next(iter(composed.iter_iterations())),
+                2 * next(iter(base.iter_iterations())))
+        finally:
+            _WRAPPER_REGISTRY.pop("double", None)
+
+    def test_compose_usable_from_workload_spec(self):
+        from repro.api import WorkloadSpec
+
+        workload = WorkloadSpec(
+            tokens_per_device=1024, layers=1, iterations=2, warmup=0,
+            scenario="compose",
+            params={"base": "diurnal",
+                    "wrappers": [{"name": "straggler",
+                                  "params": {"period": 4}}]})
+        source = workload.make_source(num_devices=4)
+        frames = list(source.iter_iterations())
+        assert len(frames) == 2
