@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Two-worker fleet quickstart: the README "Fleet" section, runnable.
+
+The same ``sweep-cluster-sizes`` study a single-process ``repro study run``
+would execute is drained here by two cooperating worker *processes* through
+a file-based work queue (lease files with heartbeats; a crashed worker's
+cells are reclaimed by the survivor) into one shared result store, whose
+append-only index journal makes the concurrent writes safe.  Because run
+ids are content-hashed, re-running this script resumes instantly, and a
+``repro study run`` against the same store would skip every cell too --
+fleet and single-process execution are interchangeable front ends over the
+same store.
+
+Afterwards, inspect what the fleet did::
+
+    repro fleet status  --store ./fleet-store
+    repro fleet workers --store ./fleet-store
+    repro study report  --store ./fleet-store --study sweep-cluster-sizes
+
+Run with::
+
+    python examples/fleet_sweep.py [workers] [store-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.reporting import format_table, print_report
+from repro.fleet import launch_fleet
+from repro.store import ResultStore
+from repro.study import make_study
+
+
+def main(workers: int = 2, store_dir: str = "./fleet-store") -> None:
+    study = make_study("sweep-cluster-sizes", sizes=[1, 2, 4, 8],
+                       devices_per_node=4, tokens_per_device=4096,
+                       iterations=6, warmup=2)
+    store = ResultStore(store_dir)
+    report = launch_fleet(
+        study, store, workers=workers,
+        on_progress=lambda status: print(
+            f"  {status.done}/{status.total} done, "
+            f"{status.leased} in flight", file=sys.stderr))
+    print(report.summary())
+
+    rows = []
+    for outcome in report.cells:
+        result = store.get_result(outcome.run_id)
+        laer = result.systems["laer"]
+        rows.append({
+            "cell": outcome.cell_id,
+            "status": outcome.status,
+            "gpus": result.spec.cluster.num_devices,
+            "laer_tok_s": round(laer.throughput, 1),
+            "speedup_vs_fsdp_ep": round(laer.speedup_vs_reference, 3),
+        })
+    print_report(format_table(
+        rows, title=f"Weak scaling via a {len(report.workers)}-worker fleet "
+                    f"(per-worker claims: {report.worker_summary()})"))
+    print(f"\nStore: {store.root} ({len(store.run_ids())} runs; "
+          f"index journal + compacted index.json)")
+
+
+if __name__ == "__main__":
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    store_dir = sys.argv[2] if len(sys.argv) > 2 else "./fleet-store"
+    main(workers, store_dir)

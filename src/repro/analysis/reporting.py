@@ -84,14 +84,21 @@ def format_markdown_table(rows: Sequence[Mapping[str, object]],
     return "\n".join(lines)
 
 
+DIFF_ROW_KEYS = ("system", "metric", "base", "other", "delta", "rel_delta")
+
+
 def format_run_diff(rows: Sequence[Mapping[str, object]],
                     title: str | None = None) -> str:
     """Render per-metric delta rows (``RunDiff.as_rows()``) as an ASCII table.
 
     Expects mappings with ``system``/``metric``/``base``/``other``/``delta``/
     ``rel_delta`` keys; the relative delta is shown as a signed percentage.
+    Any additional keys (e.g. the gate's ``baseline_run``/``candidate_run``
+    attribution) are rendered as leading columns, verbatim.
     """
     formatted = [{
+        **{key: value for key, value in row.items()
+           if key not in DIFF_ROW_KEYS},
         "system": row.get("system", ""),
         "metric": row.get("metric", ""),
         "base": _round(row.get("base"), 6),

@@ -275,6 +275,8 @@ class ExperimentRunner:
                 system_spec.name, config, topology,
                 spec.workload.tokens_per_device,
                 activation_checkpointing=spec.activation_checkpointing,
+                overflow_penalty=spec.overflow_penalty,
+                token_capacity=spec.token_capacity,
                 **system_spec.options)
             built.name = system_spec.key
             systems.append(built)

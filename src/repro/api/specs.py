@@ -298,6 +298,13 @@ class ExperimentSpec:
             absent from ``systems`` the runner substitutes the first system
             (and records the substitution in the result).
         activation_checkpointing: Whether expert recomputation is enabled.
+        overflow_penalty: Capacity-overflow cost factor: tokens a scenario
+            routes beyond a device's memory budget are dropped and
+            recomputed, charged at ``penalty`` times their expert compute
+            time.  ``0.0`` (the default) disables the overflow model.
+        token_capacity: Explicit per-device routed-token budget for the
+            overflow model; ``None`` derives it from the simulated device's
+            memory capacity.
     """
 
     name: str = "experiment"
@@ -306,8 +313,14 @@ class ExperimentSpec:
     systems: Tuple[SystemSpec, ...] = field(default_factory=_default_systems)
     reference: str = "megatron"
     activation_checkpointing: bool = False
+    overflow_penalty: float = 0.0
+    token_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.overflow_penalty < 0:
+            raise ValueError("overflow_penalty must be non-negative")
+        if self.token_capacity is not None and self.token_capacity <= 0:
+            raise ValueError("token_capacity must be positive")
         systems = tuple(SystemSpec.from_dict(s) if not isinstance(s, SystemSpec)
                         else s for s in self.systems)
         if not systems:
@@ -337,7 +350,7 @@ class ExperimentSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "cluster": self.cluster.to_dict(),
             "workload": self.workload.to_dict(),
@@ -345,6 +358,16 @@ class ExperimentSpec:
             "reference": self.reference,
             "activation_checkpointing": self.activation_checkpointing,
         }
+        # The overflow knobs are serialized only when set: run ids and spec
+        # fingerprints are content hashes of this dict, so emitting the
+        # defaults would orphan every run stored before the knobs existed
+        # (resume would re-execute finished sweeps, regressions() would
+        # stop pairing old baselines with new candidates).
+        if self.overflow_penalty != 0.0:
+            data["overflow_penalty"] = self.overflow_penalty
+        if self.token_capacity is not None:
+            data["token_capacity"] = self.token_capacity
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":

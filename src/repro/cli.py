@@ -17,19 +17,33 @@ Provides quick access to the most common workflows without writing Python:
   either loaded from a JSON file (``--spec exp.json``) or assembled from the
   command-line flags; ``--dump-spec`` writes the spec instead of running it;
 * ``repro studies`` -- print the registered study definitions;
-* ``repro study run|ls|diff|report`` -- the sweep workflow: expand a
+* ``repro study run|ls|diff|report|gate`` -- the sweep workflow: expand a
   :class:`repro.study.StudySpec` (a registered name such as
   ``sweep-cluster-sizes``, or a JSON file) into its experiment grid, execute
   it into a persistent :class:`repro.store.ResultStore` (cells already in
   the store are skipped, so re-running is a cheap no-op), then list the
-  stored runs, diff two of them metric-by-metric, or render a markdown
-  report::
+  stored runs, diff two of them metric-by-metric, render a markdown
+  report, or gate CI on regressions against a stored baseline::
 
       repro study run sweep-cluster-sizes --store ./study-store \
         --param sizes='[1,2,4]'
       repro study ls --store ./study-store
       repro study diff --store ./study-store RUN_A RUN_B
       repro study report --store ./study-store --study sweep-cluster-sizes
+      repro study gate --store ./study-store --baseline baseline  # exit 1
+                                                                  # on regression
+
+* ``repro fleet run|status|workers`` -- multi-process sweep execution: the
+  same grid, drained by N cooperating worker processes through a file-based
+  work queue (lease files with heartbeats; crashed workers' cells are
+  reclaimed) into one shared store (safe: the store's index is an
+  append-only journal)::
+
+      repro fleet run sweep-cluster-sizes --store ./study-store --workers 4
+      repro fleet status  --store ./study-store
+      repro fleet workers --store ./study-store
+
+  ``repro study run --workers N`` is a shortcut for ``fleet run``.
 
 Workloads are scenarios: ``run``, ``compare``, ``plan`` and ``trace`` accept
 ``--scenario`` (any name from ``repro scenarios``) plus repeatable
@@ -68,9 +82,17 @@ from repro.api import (
     WorkloadSpec,
     run_planner_study,
 )
+from repro.fleet import QUEUE_DIR_NAME, WorkQueue, launch_fleet
 from repro.sim.systems import available_systems, system_descriptions
-from repro.store import IndexEntry, ResultStore
-from repro.study import StudyRunner, StudySpec, make_study, study_descriptions
+from repro.store import DIFF_METRICS, IndexEntry, ResultStore
+from repro.study import (
+    StudyCellError,
+    StudyRunner,
+    StudySpec,
+    StudyStoreError,
+    make_study,
+    study_descriptions,
+)
 from repro.workloads.model_configs import get_model_config, list_model_configs
 from repro.workloads.scenarios import available_scenarios, scenario_descriptions
 from repro.workloads.trace_io import save_trace, summarize_trace
@@ -137,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
     study_run.add_argument("--sequential", action="store_true",
                            help="execute grid cells one after another "
                                 "instead of in parallel worker processes")
+    study_run.add_argument("--workers", type=int, default=0, metavar="N",
+                           help="fast path to 'repro fleet run': drain the "
+                                "grid with N cooperating worker processes "
+                                "(0 = in-process StudyRunner)")
     study_run.add_argument("--no-resume", action="store_true",
                            help="re-execute cells even when their run is "
                                 "already in the store")
@@ -179,12 +205,77 @@ def build_parser() -> argparse.ArgumentParser:
     study_report.add_argument("--output", type=str, default=None,
                               help="write the markdown report to a file "
                                    "instead of stdout")
+
+    study_gate = ssub.add_parser(
+        "gate", help="exit nonzero when stored runs regressed vs a baseline")
+    _add_store_arg(study_gate)
+    study_gate.add_argument("--baseline", type=str, required=True,
+                            help="baseline tag the candidates are compared "
+                                 "against (see 'repro study run --tag')")
+    study_gate.add_argument("--study", type=str, default=None,
+                            help="restrict the gate to runs of one study "
+                                 "(tag 'study:<name>')")
+    study_gate.add_argument("--metric", action="append", default=[],
+                            help="metric to gate on, repeatable "
+                                 "(default: throughput)")
+    study_gate.add_argument("--threshold", type=float, default=0.05,
+                            help="relative change beyond which a metric "
+                                 "counts as regressed (default: 0.05)")
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-process sweep execution over a shared store")
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_run = fsub.add_parser(
+        "run", help="drain a study's grid with N worker processes")
+    fleet_run.add_argument("study",
+                           help="registered study name (see 'repro studies') "
+                                "or a StudySpec JSON file")
+    _add_store_arg(fleet_run)
+    fleet_run.add_argument("--workers", type=int, default=2, metavar="N",
+                           help="number of worker processes (default: 2)")
+    fleet_run.add_argument("--param", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="study parameter override, repeatable")
+    fleet_run.add_argument("--tag", action="append", default=[],
+                           help="extra tag stored on every cell run, "
+                                "repeatable")
+    fleet_run.add_argument("--no-resume", action="store_true",
+                           help="re-execute cells even when their run is "
+                                "already in the store")
+    fleet_run.add_argument("--lease-timeout", type=float, default=60.0,
+                           metavar="SECONDS",
+                           help="heartbeat age after which a worker's cell "
+                                "is reclaimed (default: 60)")
+    fleet_run.add_argument("--queue", type=str, default=None, metavar="DIR",
+                           help="work-queue directory (default: "
+                                "<store>/queue/<study-key>)")
+    fleet_run.add_argument("--quiet", action="store_true",
+                           help="suppress the periodic progress lines")
+
+    fleet_status = fsub.add_parser(
+        "status", help="per-queue cell counts of a store's fleet queues")
+    _add_store_arg(fleet_status, required=False)
+    fleet_status.add_argument("--queue", type=str, default=None,
+                              metavar="DIR",
+                              help="inspect one queue directory instead of "
+                                   "every queue under the store")
+
+    fleet_workers = fsub.add_parser(
+        "workers", help="per-worker claim counts and lease heartbeats")
+    _add_store_arg(fleet_workers, required=False)
+    fleet_workers.add_argument("--queue", type=str, default=None,
+                               metavar="DIR",
+                               help="inspect one queue directory instead of "
+                                    "every queue under the store")
     return parser
 
 
-def _add_store_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--store", type=str, required=True,
-                        help="result-store directory")
+def _add_store_arg(parser: argparse.ArgumentParser,
+                   required: bool = True) -> None:
+    parser.add_argument("--store", type=str, required=required,
+                        help="result-store directory"
+                        + ("" if required else " (or pass --queue)"))
 
 
 def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
@@ -198,6 +289,16 @@ def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sequential", action="store_true",
                         help="simulate the systems one after another instead "
                              "of in parallel worker processes")
+    parser.add_argument("--overflow-penalty", type=float, default=0.0,
+                        metavar="FACTOR",
+                        help="charge tokens routed beyond a device's memory "
+                             "capacity at FACTOR times their expert compute "
+                             "time (0 disables the overflow model)")
+    parser.add_argument("--token-capacity", type=int, default=None,
+                        metavar="TOKENS",
+                        help="explicit per-device routed-token budget for "
+                             "the overflow model (default: derived from "
+                             "device memory)")
 
 
 def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -253,6 +354,8 @@ def _experiment_spec(args: argparse.Namespace, warmup: int,
                               params=_scenario_params(args.param)),
         systems=tuple(systems) if systems else ("laer",),
         reference=reference,
+        overflow_penalty=getattr(args, "overflow_penalty", 0.0),
+        token_capacity=getattr(args, "token_capacity", None),
     )
 
 
@@ -441,6 +544,18 @@ def _entry_rows(entries: Sequence[IndexEntry]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _print_cell_table(store: ResultStore, cells, title: str) -> None:
+    """Per-cell outcome table shared by the study and fleet run commands."""
+    by_run = {entry.run_id: entry for entry in store.entries()}
+    rows = []
+    for cell in cells:
+        entry = by_run.get(cell.run_id)
+        for row in _entry_rows([entry] if entry else []):
+            rows.append({"cell": cell.cell_id, "status": cell.status,
+                         **{k: v for k, v in row.items() if k != "cell"}})
+    print_report(format_table(rows, title=title))
+
+
 def cmd_study_run(args: argparse.Namespace) -> int:
     try:
         study = _load_study(args)
@@ -460,18 +575,19 @@ def cmd_study_run(args: argparse.Namespace) -> int:
             return 2
         print(f"Study spec saved to {path}")
         return 0
+    if getattr(args, "workers", 0) > 0:  # 0 = in-process StudyRunner
+        if args.sequential:
+            print("error: --sequential and --workers are mutually "
+                  "exclusive (worker processes are inherently parallel)",
+                  file=sys.stderr)
+            return 2
+        return _run_fleet(study, args, workers=args.workers,
+                          lease_timeout=60.0, queue=None, quiet=False)
     store = ResultStore(args.store)
     runner = StudyRunner(store, parallel=not args.sequential)
     report = runner.run(study, tags=args.tag, resume=not args.no_resume)
-    by_run = {entry.run_id: entry for entry in store.entries()}
-    rows = []
-    for cell in report.cells:
-        entry = by_run.get(cell.run_id)
-        for row in _entry_rows([entry] if entry else []):
-            rows.append({"cell": cell.cell_id, "status": cell.status,
-                         **{k: v for k, v in row.items() if k != "cell"}})
-    print_report(format_table(
-        rows, title=f"Study {study.name!r} ({report.execution_mode})"))
+    _print_cell_table(store, report.cells,
+                      f"Study {study.name!r} ({report.execution_mode})")
     print(report.summary())
     return 0
 
@@ -576,16 +692,213 @@ def cmd_study_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_study_gate(args: argparse.Namespace) -> int:
+    """The stored-baseline regression gate (exit 1 when thresholds trip)."""
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    metrics = tuple(args.metric) or ("throughput",)
+    # A typo'd metric name would silently gate on nothing and pass.
+    unknown = [metric for metric in metrics
+               if metric not in DIFF_METRICS
+               and not metric.startswith("breakdown.")]
+    if unknown:
+        print(f"error: unknown gate metric(s) {unknown}; known: "
+              f"{list(DIFF_METRICS)} or any 'breakdown.<component>'",
+              file=sys.stderr)
+        return 2
+    reports = store.regressions(args.baseline, metrics=metrics,
+                                threshold=args.threshold)
+    unscoped = len(reports)
+    if args.study:
+        covered = {entry.run_id
+                   for entry in store.query(tag=f"study:{args.study}")}
+        reports = [report for report in reports
+                   if report.baseline_run in covered
+                   or report.candidate_run in covered]
+    if not reports:
+        if unscoped:
+            print(f"error: {unscoped} comparable run pair(s) exist for "
+                  f"baseline tag {args.baseline!r}, but none belong to "
+                  f"study {args.study!r}", file=sys.stderr)
+        else:
+            print(f"error: no baseline-tagged runs with re-runs to compare "
+                  f"(baseline tag {args.baseline!r}) in {store.root}",
+                  file=sys.stderr)
+        return 2
+    # 'breakdown.<component>' names are only known per run: a component
+    # absent from every compared pair (a typo, or a model knob that was
+    # off) would gate on nothing and vacuously pass.
+    present = {delta.metric
+               for report in reports
+               for system in report.diff.systems
+               for delta in system.metrics}
+    absent = [metric for metric in metrics
+              if metric.startswith("breakdown.") and metric not in present]
+    if absent:
+        print(f"error: gate metric(s) {absent} appear in none of the "
+              f"{len(reports)} compared run pair(s); present breakdown "
+              f"metrics: {sorted(m for m in present if m.startswith('breakdown.'))}",
+              file=sys.stderr)
+        return 2
+    rows = []
+    for report in reports:
+        for regressed in report.regressed_metrics:
+            rows.append({
+                "baseline_run": report.baseline_run,
+                "candidate_run": report.candidate_run,
+                **regressed.as_row(),
+            })
+    compared = len(reports)
+    if rows:
+        print_report(format_run_diff(
+            rows, title=f"Regressions vs {args.baseline!r} "
+                        f"(threshold {args.threshold:g})"))
+        print(f"gate: FAIL ({len(rows)} regressed metric(s) across "
+              f"{compared} compared run pair(s))")
+        return 1
+    print(f"gate: OK ({compared} run pair(s) within {args.threshold:g} "
+          f"on {', '.join(metrics)})")
+    return 0
+
+
+def _run_fleet(study: StudySpec, args: argparse.Namespace, workers: int,
+               lease_timeout: float, queue: Optional[str],
+               quiet: bool) -> int:
+    store = ResultStore(args.store)
+
+    def progress(status) -> None:
+        print(f"fleet: {status.done}/{status.total} done, "
+              f"{status.leased} in flight, {status.pending} pending, "
+              f"{status.failed} failed", file=sys.stderr)
+
+    try:
+        report = launch_fleet(
+            study, store, workers=workers, tags=args.tag,
+            resume=not args.no_resume, lease_timeout=lease_timeout,
+            queue_root=queue, on_progress=None if quiet else progress)
+    except (StudyCellError, StudyStoreError, RuntimeError) as error:
+        report = getattr(error, "report", None)
+        if report is not None:
+            for failure in report.failures:
+                print(f"failed cell {failure.cell_id!r} "
+                      f"[{failure.kind}/{failure.worker or 'n/a'}]: "
+                      f"{failure.error}", file=sys.stderr)
+            print(report.summary(), file=sys.stderr)
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_cell_table(store, report.cells,
+                      f"Fleet {study.name!r} ({len(report.workers)} workers)")
+    print(report.summary())
+    return 0
+
+
+def cmd_fleet_run(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        study = _load_study(args)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load study {args.study!r}: {error}",
+              file=sys.stderr)
+        return 2
+    return _run_fleet(study, args, workers=args.workers,
+                      lease_timeout=args.lease_timeout, queue=args.queue,
+                      quiet=args.quiet)
+
+
+def _fleet_queues(args: argparse.Namespace) -> Optional[List[WorkQueue]]:
+    """The queues a fleet inspection command covers (None on a bad path)."""
+    if args.queue:
+        root = Path(args.queue)
+        if not root.is_dir():
+            print(f"error: no fleet queue at {args.queue!r}", file=sys.stderr)
+            return None
+        return [WorkQueue(root)]
+    if not args.store:
+        print("error: pass --store (scan its queues) or --queue DIR",
+              file=sys.stderr)
+        return None
+    store = _open_store(args.store)
+    if store is None:
+        return None
+    queue_base = store.root / QUEUE_DIR_NAME
+    if not queue_base.is_dir():
+        return []
+    return [WorkQueue(path) for path in sorted(queue_base.iterdir())
+            if path.is_dir()]
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    queues = _fleet_queues(args)
+    if queues is None:
+        return 2
+    rows = []
+    for queue in queues:
+        status = queue.status()
+        rows.append({
+            "queue": queue.root.name,
+            "total": status.total,
+            "pending": status.pending,
+            "in_flight": status.leased,
+            "done": status.done,
+            "failed": status.failed,
+            "state": ("empty" if status.total == 0
+                      else "finished" if status.finished else "running"),
+        })
+    print_report(format_table(rows, title="Fleet queues"))
+    return 0
+
+
+def cmd_fleet_workers(args: argparse.Namespace) -> int:
+    queues = _fleet_queues(args)
+    if queues is None:
+        return 2
+    rows = []
+    now = time.time()
+    for queue in queues:
+        status = queue.status()
+        active = {lease.worker: lease for lease in status.leases}
+        workers = sorted({*status.done_by_worker, *status.failed_by_worker,
+                          *active})
+        for worker in workers:
+            lease = active.get(worker)
+            rows.append({
+                "queue": queue.root.name,
+                "worker": worker,
+                "done": status.done_by_worker.get(worker, 0),
+                "failed": status.failed_by_worker.get(worker, 0),
+                "in_flight": lease.key if lease else "",
+                "heartbeat_age_s": (round(lease.age(now), 1)
+                                    if lease else ""),
+            })
+    print_report(format_table(rows, title="Fleet workers"))
+    return 0
+
+
 STUDY_COMMANDS = {
     "run": cmd_study_run,
     "ls": cmd_study_ls,
     "diff": cmd_study_diff,
     "report": cmd_study_report,
+    "gate": cmd_study_gate,
 }
 
 
 def cmd_study(args: argparse.Namespace) -> int:
     return STUDY_COMMANDS[args.study_command](args)
+
+
+FLEET_COMMANDS = {
+    "run": cmd_fleet_run,
+    "status": cmd_fleet_status,
+    "workers": cmd_fleet_workers,
+}
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    return FLEET_COMMANDS[args.fleet_command](args)
 
 
 COMMANDS = {
@@ -598,6 +911,7 @@ COMMANDS = {
     "run": cmd_run,
     "studies": cmd_studies,
     "study": cmd_study,
+    "fleet": cmd_fleet,
 }
 
 

@@ -1,0 +1,58 @@
+"""Fleet subsystem: multi-process sweep execution over a shared store.
+
+Where :class:`repro.study.StudyRunner` executes a sweep inside one process,
+the fleet turns the same sweep into a small *service*: a file-based
+:class:`WorkQueue` of study cells (claimed via ``O_EXCL`` lease files with
+heartbeat mtimes; crashed workers' cells expire and are reclaimed), N
+:class:`FleetWorker` processes draining it, and one shared
+:class:`repro.store.ResultStore` whose append-only index journal makes the
+concurrent writes safe::
+
+    from repro.fleet import launch_fleet
+    from repro.store import ResultStore
+    from repro.study import make_study
+
+    study = make_study("sweep-cluster-sizes", sizes=[1, 2, 4, 8])
+    report = launch_fleet(study, ResultStore("./study-store"), workers=2)
+    print(report.summary())   # per-worker claim counts included
+
+The ``repro fleet`` CLI (``run`` / ``status`` / ``workers``) and the
+``--workers N`` fast path on ``repro study run`` are built on exactly these
+entry points.
+"""
+
+from repro.fleet.queue import (
+    FAILURE_KINDS,
+    LeaseInfo,
+    LeaseLost,
+    QueueStatus,
+    QueuedCell,
+    WorkQueue,
+    cell_key,
+)
+from repro.fleet.worker import (
+    QUEUE_DIR_NAME,
+    FleetFailure,
+    FleetReport,
+    FleetWorker,
+    WorkerReport,
+    default_queue_root,
+    launch_fleet,
+)
+
+__all__ = [
+    "FAILURE_KINDS",
+    "LeaseInfo",
+    "LeaseLost",
+    "QueueStatus",
+    "QueuedCell",
+    "WorkQueue",
+    "cell_key",
+    "FleetFailure",
+    "FleetReport",
+    "FleetWorker",
+    "QUEUE_DIR_NAME",
+    "WorkerReport",
+    "default_queue_root",
+    "launch_fleet",
+]

@@ -13,7 +13,14 @@ collective cost models and the Fig. 5 communication schedule:
 * expert-parameter prefetch and gradient synchronisation, whose exposure
   depends on the paradigm (FSEP unshard/reshard, FSDP All-Gather /
   Reduce-Scatter, or Megatron's replicated gradients);
-* re-layout overheads reported by the policy (migrations, shadow broadcasts).
+* re-layout overheads reported by the policy (migrations, shadow broadcasts);
+* optionally, a **capacity-overflow penalty**: when a scenario routes more
+  tokens onto a device than its memory can hold, the overflowing tokens are
+  dropped and recomputed (or re-dispatched), charged as extra expert compute
+  scaled by ``overflow_penalty``.  Off by default (``overflow_penalty=0``);
+  the per-device token budget defaults to the paradigm's
+  :class:`~repro.cluster.memory.MemoryModel` feasibility limit and can be
+  pinned explicitly via ``token_capacity``.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import numpy as np
 
 from repro.baselines.base import PolicyDecision
 from repro.cluster.collectives import CollectiveCostModel
+from repro.cluster.memory import MemoryModel
 from repro.cluster.topology import ClusterTopology
 from repro.core.comm_schedule import (
     CommScheduleConfig,
@@ -52,10 +60,13 @@ class LayerResult:
     relayout_time: float
     max_tokens: int
     ideal_tokens: float
+    overflow_tokens: int = 0
+    overflow_time: float = 0.0
 
     @property
     def total_time(self) -> float:
-        return self.forward_time + self.backward_time + self.relayout_time
+        return (self.forward_time + self.backward_time + self.relayout_time
+                + self.overflow_time)
 
     @property
     def relative_max_tokens(self) -> float:
@@ -102,6 +113,15 @@ class IterationSimulator:
         activation_checkpointing: Whether expert recomputation is enabled.
         num_layers: Number of MoE transformer layers simulated per iteration;
             defaults to the model's layer count.
+        overflow_penalty: Cost factor for tokens routed beyond a device's
+            memory capacity: each overflowing token is dropped and
+            recomputed (or re-dispatched), charged as ``penalty`` times its
+            expert compute time.  ``0.0`` (the default) disables the
+            overflow model entirely.
+        token_capacity: Per-device routed-token budget the overflow model
+            compares against.  ``None`` derives it from the device's memory
+            via :meth:`MemoryModel.max_tokens_per_device` for the active
+            paradigm.
     """
 
     config: MoEModelConfig
@@ -113,6 +133,8 @@ class IterationSimulator:
     ep_size: int = 1
     activation_checkpointing: bool = False
     num_layers: Optional[int] = None
+    overflow_penalty: float = 0.0
+    token_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.tokens_per_device <= 0:
@@ -121,10 +143,43 @@ class IterationSimulator:
             raise ValueError(f"unknown paradigm {self.paradigm!r}")
         if self.tp_size < 1 or self.ep_size < 1:
             raise ValueError("tp_size and ep_size must be at least 1")
+        if self.overflow_penalty < 0:
+            raise ValueError("overflow_penalty must be non-negative")
+        if self.token_capacity is not None and self.token_capacity <= 0:
+            raise ValueError("token_capacity must be positive")
         self.collectives = CollectiveCostModel(self.topology)
         self._tp_cost = TensorParallelCost(self.topology, self.config, self.tp_size)
         if self.num_layers is None:
             self.num_layers = self.config.num_layers
+        self._device_token_capacity = (
+            self.device_token_capacity() if self.overflow_penalty > 0 else None)
+
+    def device_token_capacity(self) -> int:
+        """The per-device *routed*-token budget the overflow model enforces.
+
+        Explicit ``token_capacity`` wins (it is compared directly against
+        the routing plan's per-device sums, which count expert slots --
+        ``top_k`` routed copies per input token).  Otherwise the budget is
+        derived from the :class:`MemoryModel` feasibility search: the
+        largest per-device *input*-token count whose activations fit in
+        device memory, scaled by ``top_k`` to land in the same
+        routed-token units as the plan sums -- without the scaling a
+        memory-feasible, perfectly balanced workload would read as
+        overflowing by a factor of ``top_k``.
+        """
+        if self.token_capacity is not None:
+            return int(self.token_capacity)
+        memory = MemoryModel(self.config, self.topology,
+                             activation_checkpointing=self.activation_checkpointing)
+        kwargs: Dict[str, int] = {}
+        if self.paradigm == "fsdp_ep":
+            kwargs = {"ep_size": self.ep_size}
+        elif self.paradigm == "megatron":
+            kwargs = {"tp_size": self.tp_size, "ep_size": self.ep_size,
+                      "optimizer_sharding_dp":
+                          max(1, self.topology.num_devices // self.tp_size)}
+        input_budget = memory.max_tokens_per_device(self.paradigm, **kwargs)
+        return max(1, input_budget) * max(1, int(self.config.top_k))
 
     # ------------------------------------------------------------------
     # Component costs
@@ -252,6 +307,18 @@ class IterationSimulator:
         plan = np.asarray(decision.routing_plan, dtype=np.float64)
         tokens_per_device = plan.sum(axis=(0, 1))
         ideal = plan.sum() / self.topology.num_devices
+        max_tokens = int(tokens_per_device.max())
+        overflow_tokens = 0
+        overflow_time = 0.0
+        if self._device_token_capacity is not None:
+            # Tokens beyond the device's memory budget are dropped and
+            # recomputed (or re-dispatched): charge their expert compute
+            # again, scaled by the penalty, on the critical (max) device.
+            overflow_tokens = max(0, max_tokens - self._device_token_capacity)
+            overflow_time = (
+                self.overflow_penalty * overflow_tokens
+                * self.config.expert_flops_per_token
+                / self.topology.device_spec.effective_flops)
         return LayerResult(
             layer=layer,
             forward_time=scheduled.forward_time,
@@ -261,8 +328,10 @@ class IterationSimulator:
             all_to_all_time=scheduled.a2a_time + imbalance_wait,
             exposed_comm_time=scheduled.exposed_prefetch + scheduled.exposed_grad_sync,
             relayout_time=relayout,
-            max_tokens=int(tokens_per_device.max()),
+            max_tokens=max_tokens,
             ideal_tokens=float(ideal),
+            overflow_tokens=overflow_tokens,
+            overflow_time=overflow_time,
         )
 
     def simulate_iteration(self, iteration: int,
@@ -285,6 +354,9 @@ class IterationSimulator:
             "exposed_comm": scale * sum(r.exposed_comm_time for r in layer_results),
             "relayout": scale * sum(r.relayout_time for r in layer_results),
         }
+        if self._device_token_capacity is not None:
+            breakdown["overflow"] = scale * sum(
+                r.overflow_time for r in layer_results)
         total = scale * sum(r.total_time for r in layer_results)
         breakdown["other"] = max(0.0, total - sum(breakdown.values()))
         return IterationResult(

@@ -114,6 +114,10 @@ class SystemBuildContext:
         topology: Cluster topology.
         tokens_per_device: Tokens per device per micro-batch.
         activation_checkpointing: Whether expert recomputation is enabled.
+        overflow_penalty: Capacity-overflow cost factor forwarded to every
+            built :class:`IterationSimulator` (0 disables the model).
+        token_capacity: Explicit per-device routed-token budget for the
+            overflow model (None derives it from device memory).
     """
 
     name: str
@@ -121,6 +125,8 @@ class SystemBuildContext:
     topology: ClusterTopology
     tokens_per_device: int
     activation_checkpointing: bool = False
+    overflow_penalty: float = 0.0
+    token_capacity: int | None = None
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -165,6 +171,8 @@ class SystemBuildContext:
             tp_size=tp_size,
             ep_size=ep_size if ep_size is not None else self.ep_size,
             activation_checkpointing=self.activation_checkpointing,
+            overflow_penalty=self.overflow_penalty,
+            token_capacity=self.token_capacity,
         )
         return SystemSpec(name=self.name, paradigm=paradigm, policy=policy,
                           simulator=simulator, tp_size=tp_size,
@@ -296,6 +304,8 @@ def available_systems() -> List[str]:
 def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
                 tokens_per_device: int,
                 activation_checkpointing: bool = False,
+                overflow_penalty: float = 0.0,
+                token_capacity: int | None = None,
                 **overrides: object) -> SystemSpec:
     """Instantiate one of the registered training systems.
 
@@ -305,6 +315,10 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
         topology: Cluster topology.
         tokens_per_device: Tokens per device per micro-batch.
         activation_checkpointing: Whether expert recomputation is enabled.
+        overflow_penalty: Capacity-overflow cost factor (0 disables; see
+            :class:`repro.sim.iteration.IterationSimulator`).
+        token_capacity: Explicit per-device routed-token budget for the
+            overflow model.
         **overrides: Per-build overrides of the entry's registered parameters
             (e.g. ``make_system("laer", ..., comm_opt=False)``).
 
@@ -314,7 +328,9 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
     entry = registered_system(name)
     ctx = SystemBuildContext(name=entry.name, config=config, topology=topology,
                              tokens_per_device=tokens_per_device,
-                             activation_checkpointing=activation_checkpointing)
+                             activation_checkpointing=activation_checkpointing,
+                             overflow_penalty=overflow_penalty,
+                             token_capacity=token_capacity)
     return entry.build(ctx, **overrides)
 
 

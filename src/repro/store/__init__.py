@@ -15,6 +15,7 @@ from repro.store.result_store import (
     RunDiff,
     StoredRun,
     SystemDiff,
+    atomic_write_json,
     canonical_spec_json,
     diff_results,
     run_id_for,
@@ -31,6 +32,7 @@ __all__ = [
     "RunDiff",
     "StoredRun",
     "SystemDiff",
+    "atomic_write_json",
     "canonical_spec_json",
     "diff_results",
     "run_id_for",

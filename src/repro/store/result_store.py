@@ -11,15 +11,32 @@ file name.
 Layout on disk::
 
     <root>/
-        index.json            # incrementally maintained run index
+        index.json            # compacted run index (a pure cache)
+        index.journal         # append-only index increments (JSON lines)
+        store.lock            # advisory lock serializing compaction
         runs/<run_id>.json    # one envelope per stored run
 
 Each run file is a self-contained envelope (``run_id``, ``fingerprint``,
-``created_at``, ``tags`` and the full ``result`` dict), so ``index.json``
+``created_at``, ``tags`` and the full ``result`` dict), so the index layer
 is a pure cache: :meth:`ResultStore.rebuild_index` regenerates it from a
 cold directory and every read path falls back to a rebuild when the index
-is missing or corrupt.  All writes go through a temp-file + ``os.replace``
-dance, so a crashed writer never leaves a half-written run or index behind.
+is missing or corrupt.  All whole-file writes go through a temp-file +
+``os.replace`` dance, so a crashed writer never leaves a half-written run
+or index behind.
+
+The index itself is maintained as an **append-only journal**:
+:meth:`ResultStore.put` writes the run file and then appends one fsync'd
+JSON line to ``index.journal`` -- an O(1) increment instead of the full
+index rewrite it used to do (O(n) per put, O(n^2) over a sweep), and safe
+for *concurrent writers*: ``O_APPEND`` appends from any number of
+processes interleave without corrupting each other, so fleets of workers
+(:mod:`repro.fleet`) can share one store.  Reads merge ``index.json``
+(the compacted base) with a replay of the journal; torn trailing lines
+from a crashed writer are skipped.  :meth:`ResultStore.compact_index`
+folds the journal back into ``index.json`` and
+:meth:`ResultStore.rebuild_index` regenerates everything from the run
+files (the truth); both hold an advisory ``flock`` on ``store.lock`` so
+compaction never races an in-flight append.
 
 On top of storage the store answers cross-run questions:
 
@@ -35,6 +52,7 @@ On top of storage the store answers cross-run questions:
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import math
@@ -43,7 +61,22 @@ import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # POSIX advisory locks; compaction degrades gracefully without them
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.api.runner import ExperimentResult
 from repro.api.specs import ExperimentSpec
@@ -60,6 +93,37 @@ DIFF_METRICS = (
     "speedup_vs_reference",
     "mean_relative_max_tokens",
 )
+
+
+# ----------------------------------------------------------------------
+# Shared filesystem primitives
+# ----------------------------------------------------------------------
+def atomic_write_json(path: Path, payload: Mapping[str, Any],
+                      indent: int = 2) -> None:
+    """Serialize first, then temp-file + fsync + rename, so readers never
+    see a partial file and a crash -- power loss included -- leaves either
+    the old contents or the complete new ones.
+
+    The fsync *before* the rename matters for the store's journal
+    invariant ("every journaled run is already on disk"): without it,
+    delayed allocation could persist the fsync'd journal line while the
+    renamed run file it refers to is still empty after a power loss.
+
+    Shared by the store and the fleet's work queue -- every whole-file
+    write in both subsystems goes through this one dance.
+    """
+    text = json.dumps(payload, indent=indent, sort_keys=False) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+    try:
+        with tmp.open("w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 # ----------------------------------------------------------------------
@@ -363,14 +427,20 @@ class ResultStore:
         root: Store directory; created (with the ``runs/`` subdirectory) on
             first use.
 
-    The store is safe against crashed writers (atomic temp-file renames) and
-    against a stale or deleted ``index.json`` (reads rebuild it from the run
-    files).  It is *not* a concurrent database: two processes writing the
-    same store simultaneously may lose index increments, which the next
-    :meth:`rebuild_index` repairs.
+    The store is safe against crashed writers (atomic temp-file renames,
+    torn journal lines skipped on read) and against a stale or deleted
+    ``index.json`` (reads merge the append-only journal on top and rebuild
+    from the run files when neither covers the directory).  Concurrent
+    writers are safe: :meth:`put` appends one atomic ``O_APPEND`` journal
+    line per run instead of rewriting the index, so any number of worker
+    processes (see :mod:`repro.fleet`) may share one store; only
+    :meth:`compact_index` / :meth:`rebuild_index` take the advisory
+    ``store.lock`` so compaction cannot race an in-flight append.
     """
 
     INDEX_NAME = "index.json"
+    JOURNAL_NAME = "index.journal"
+    LOCK_NAME = "store.lock"
     RUNS_DIR = "runs"
 
     def __init__(self, root: Union[str, Path]):
@@ -385,31 +455,141 @@ class ResultStore:
     def index_path(self) -> Path:
         return self.root / self.INDEX_NAME
 
+    @property
+    def journal_path(self) -> Path:
+        return self.root / self.JOURNAL_NAME
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / self.LOCK_NAME
+
     def run_path(self, run_id: str) -> Path:
         return self.runs_dir / f"{run_id}.json"
+
+    # -- locking --------------------------------------------------------
+    @contextlib.contextmanager
+    def _locked(self, exclusive: bool = True) -> Iterator[None]:
+        """Advisory file lock: shared around journal appends, exclusive
+        around compaction, so a compactor never truncates the journal while
+        a writer is mid-append (appends themselves are atomic ``O_APPEND``
+        writes -- the lock only fences them against truncation)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
 
     # -- atomic writes --------------------------------------------------
     @staticmethod
     def _atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
-        """Serialize first, then temp-file + rename, so readers never see a
-        partial file and a crash mid-write leaves the old contents intact."""
-        text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.parent / f".{path.name}.tmp-{os.getpid()}"
+        atomic_write_json(path, payload)
+
+    # -- journal --------------------------------------------------------
+    def _append_journal(self, record: Mapping[str, Any]) -> None:
+        """Append one fsync'd JSON line to the index journal.
+
+        The whole line goes through a single ``write`` on an ``O_APPEND``
+        descriptor, so concurrent appenders from other processes interleave
+        whole lines rather than bytes; the shared lock only fences the
+        append against a concurrent compactor's truncation.
+        """
+        line = (json.dumps(record, sort_keys=False,
+                           separators=(",", ":")) + "\n").encode()
+        with self._locked(exclusive=False):
+            fd = os.open(self.journal_path,
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    def _read_journal(self) -> List[Dict[str, Any]]:
+        """The journal's parseable put/delete records, in append order.
+
+        Unparseable lines (a torn append from a crashed writer, manual
+        edits) are skipped: the run files remain the truth and
+        :meth:`rebuild_index` recovers anything a skip loses.
+        """
         try:
-            tmp.write_text(text)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+            text = self.journal_path.read_text()
+        except OSError:
+            return []
+        records: List[Dict[str, Any]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record["op"] == "put":
+                    dict(record["entry"])  # must be a mapping
+                elif record["op"] != "delete":
+                    continue
+            except (ValueError, KeyError, TypeError):
+                continue
+            records.append(record)
+        return records
+
+    def _apply_journal(
+            self, base: Mapping[str, Mapping[str, Any]],
+            records: Sequence[Mapping[str, Any]],
+    ) -> Dict[str, Dict[str, Any]]:
+        """Apply journal put/delete records on top of ``base``."""
+        merged = {run_id: dict(entry) for run_id, entry in base.items()}
+        for record in records:
+            try:
+                if record["op"] == "put":
+                    entry = dict(record["entry"])
+                    merged[str(entry["run_id"])] = entry
+                else:
+                    merged.pop(str(record["run_id"]), None)
+            except (ValueError, KeyError, TypeError):
+                continue
+        return merged
+
+    def _replay_journal(
+            self, base: Mapping[str, Mapping[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Apply the journal's current records on top of ``base``."""
+        return self._apply_journal(base, self._read_journal())
+
+    def _clear_journal(self) -> None:
+        """Empty the journal in place (callers hold the exclusive lock).
+
+        Truncation (not unlink-and-recreate) keeps the inode stable, so a
+        writer that raced past the lock with an already-open descriptor
+        still appends to the live journal file.
+        """
+        try:
+            os.truncate(self.journal_path, 0)
+        except FileNotFoundError:
+            pass
 
     # -- writing --------------------------------------------------------
     def put(self, result: ExperimentResult, tags: Sequence[str] = (),
-            created_at: Optional[float] = None) -> StoredRun:
+            created_at: Optional[float] = None,
+            compact: bool = False) -> StoredRun:
         """Persist one result (overwriting any previous run of the same id).
 
         Returns the :class:`StoredRun` envelope actually written.  The index
-        is updated incrementally in the same call.
+        increment is an O(1) fsync'd journal append -- the run file first,
+        the journal line second, so every journaled run is already on disk
+        -- which is what makes big sweeps O(n) and concurrent writers safe.
+
+        Args:
+            result: The experiment result to store.
+            tags: Tags stored on (and part of the identity of) the run.
+            created_at: Timestamp override (defaults to now).
+            compact: Escape hatch restoring the old eager behavior: fold the
+                journal (this entry included) straight into ``index.json``
+                via :meth:`compact_index`.  O(n) per call -- reserve it for
+                callers that want a fresh ``index.json`` after every put.
         """
         tags = tuple(sorted({str(t) for t in tags}))
         run = StoredRun(
@@ -420,11 +600,10 @@ class ResultStore:
             result=result,
         )
         self._atomic_write_json(self.run_path(run.run_id), run.to_dict())
-        # Load with the rebuild fallback: writing an increment on top of a
-        # missing/corrupt index must not mask the older runs on disk.
-        index = self._load_index()
-        index[run.run_id] = IndexEntry.from_run(run).to_dict()
-        self._write_index(index)
+        entry = IndexEntry.from_run(run).to_dict()
+        self._append_journal({"op": "put", "entry": entry})
+        if compact:
+            self.compact_index()
         return run
 
     def tag(self, run_id: str, *tags: str) -> StoredRun:
@@ -444,9 +623,10 @@ class ResultStore:
         existed = path.exists()
         if existed:
             path.unlink()
-        index = self._load_index()  # rebuild fallback, as in put()
-        if index.pop(run_id, None) is not None or existed:
-            self._write_index(index)
+        # Journal the delete when either the file existed or an index row
+        # survives it (e.g. a stale entry for a file removed out-of-band).
+        if existed or run_id in self._load_index(rebuild_if_missing=False):
+            self._append_journal({"op": "delete", "run_id": run_id})
         return existed
 
     # -- reading --------------------------------------------------------
@@ -480,44 +660,98 @@ class ResultStore:
 
     # -- index ----------------------------------------------------------
     def _write_index(self, index: Mapping[str, Mapping[str, Any]]) -> None:
+        # Rows are written sorted by run id so a compaction and a cold
+        # rebuild over the same runs produce byte-identical files (which is
+        # how the fleet stress tests assert post-run consistency).
+        runs = {run_id: dict(index[run_id]) for run_id in sorted(index)}
         self._atomic_write_json(self.index_path,
-                                {"format": STORE_FORMAT, "runs": dict(index)})
+                                {"format": STORE_FORMAT, "runs": runs})
 
-    def _load_index(self, rebuild_if_missing: bool = True) -> Dict[str, Dict[str, Any]]:
+    def _read_index_file(self) -> Tuple[Dict[str, Dict[str, Any]], bool]:
+        """``index.json`` contents plus whether the file was intact."""
         try:
             payload = json.loads(self.index_path.read_text())
             runs = payload["runs"]
             if not isinstance(runs, dict):
                 raise ValueError("malformed index")
-            return dict(runs)
+            return dict(runs), True
         except (OSError, ValueError, KeyError):
-            # Only rebuild when run files actually exist: reads against a
-            # nonexistent (e.g. mistyped) store path must stay read-only
-            # rather than conjure an empty store directory there.
-            if not rebuild_if_missing or not self.runs_dir.is_dir():
-                return {}
-            self.rebuild_index()
-            try:
-                return dict(json.loads(self.index_path.read_text())["runs"])
-            except (OSError, ValueError, KeyError):
-                return {}
+            return {}, False
+
+    def _load_index(self, rebuild_if_missing: bool = True) -> Dict[str, Dict[str, Any]]:
+        """The merged read view: ``index.json`` + journal replay.
+
+        A fresh store whose runs live entirely in the journal never needs
+        ``index.json``; a rebuild from the run files only happens when the
+        compacted index is missing/corrupt *and* the journal does not cover
+        every run file on disk (e.g. a journal staled by out-of-band edits).
+
+        Reads are lock-free, so the journal is read *before* the index:
+        if a concurrent compaction lands between the two reads, the stale
+        journal snapshot replays entries the fresh index already contains
+        (idempotent) -- the reverse order would pair a stale index with an
+        already-truncated journal and journaled runs would vanish from the
+        merged view.
+        """
+        records = self._read_journal()
+        base, intact = self._read_index_file()
+        merged = self._apply_journal(base, records)
+        if intact or not rebuild_if_missing:
+            return merged
+        # Only rebuild when run files actually exist: reads against a
+        # nonexistent (e.g. mistyped) store path must stay read-only
+        # rather than conjure an empty store directory there.
+        if not self.runs_dir.is_dir():
+            return merged
+        if set(self.run_ids()) <= set(merged):
+            return merged
+        self.rebuild_index()
+        base, _ = self._read_index_file()
+        return self._replay_journal(base)
 
     def rebuild_index(self) -> int:
         """Regenerate ``index.json`` from the run files; returns the count.
 
-        This is the cold-start / repair path: the index is a cache, the run
-        files are the truth.  Unreadable run files are skipped (they would
-        otherwise wedge every store operation after a partial copy).
+        This is the cold-start / repair path: the index layer is a cache,
+        the run files are the truth -- so a rebuild also *wins over a stale
+        journal* (entries whose run files vanished are dropped) and leaves
+        the journal empty.  Unreadable run files are skipped (they would
+        otherwise wedge every store operation after a partial copy).  Runs
+        exclusively against concurrent appends: any journal line present
+        once the lock is held refers to a run file already on disk (put
+        writes the file before the line), so truncating loses nothing.
         """
-        index: Dict[str, Dict[str, Any]] = {}
-        for run_id in self.run_ids():
-            try:
-                run = self.get(run_id)
-            except (KeyError, ValueError, TypeError, json.JSONDecodeError):
-                continue
-            index[run_id] = IndexEntry.from_run(run).to_dict()
-        self._write_index(index)
+        with self._locked():
+            index: Dict[str, Dict[str, Any]] = {}
+            for run_id in self.run_ids():
+                try:
+                    run = self.get(run_id)
+                except (KeyError, ValueError, TypeError, json.JSONDecodeError):
+                    continue
+                index[run_id] = IndexEntry.from_run(run).to_dict()
+            self._write_index(index)
+            self._clear_journal()
         return len(index)
+
+    def compact_index(self) -> int:
+        """Fold the journal into ``index.json``; returns the row count.
+
+        Unlike :meth:`rebuild_index` this never re-reads the run files --
+        it just persists the merged read view and empties the journal, so
+        it is cheap enough to run after every study/fleet invocation.
+        Falls back to a full rebuild when the compacted index is corrupt
+        and the journal alone does not cover the run files.
+        """
+        _, intact = self._read_index_file()
+        if not intact and self.runs_dir.is_dir():
+            if not set(self.run_ids()) <= set(self._replay_journal({})):
+                return self.rebuild_index()
+        with self._locked():
+            base, _ = self._read_index_file()
+            merged = self._replay_journal(base)
+            self._write_index(merged)
+            self._clear_journal()
+        return len(merged)
 
     def entries(self) -> List[IndexEntry]:
         """All index entries, oldest first."""

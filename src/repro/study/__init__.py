@@ -39,6 +39,8 @@ from repro.study.runner import (
     StudyRunner,
     StudyStoreError,
     run_study,
+    split_resumable_cells,
+    study_run_tags,
     study_tag,
 )
 
@@ -59,5 +61,7 @@ __all__ = [
     "StudyStoreError",
     "StudyRunner",
     "run_study",
+    "split_resumable_cells",
+    "study_run_tags",
     "study_tag",
 ]

@@ -39,6 +39,39 @@ def study_tag(study: StudySpec) -> str:
     return f"study:{study.name}"
 
 
+def study_run_tags(study: StudySpec, tags: Sequence[str] = ()) -> Tuple[str, ...]:
+    """The full tag set attached to (and looked up for) a study's runs."""
+    return tuple(sorted({study_tag(study), *study.tags,
+                         *(str(t) for t in tags)}))
+
+
+def split_resumable_cells(
+        study: StudySpec, store: ResultStore, tags: Sequence[str],
+        resume: bool = True,
+        cells: Optional[Sequence[StudyCell]] = None,
+) -> Tuple[List[StudyCell], List["CellOutcome"]]:
+    """Expand a study and split its grid into pending and resumed cells.
+
+    Shared by :class:`StudyRunner` and the fleet coordinator
+    (:func:`repro.fleet.launch_fleet`) so both front ends agree on what
+    "already done" means: a cell resumes iff a run of its exact spec and
+    tag set is in the store.  Returns ``(pending_cells, skipped_outcomes)``
+    in grid order.  Callers that already expanded the grid pass it via
+    ``cells`` (expansion re-validates every derived spec -- not free on
+    big grids).
+    """
+    pending: List[StudyCell] = []
+    skipped: List[CellOutcome] = []
+    for cell in (study.expand() if cells is None else cells):
+        run_id = run_id_for(cell.spec, tags)
+        if resume and run_id in store:
+            skipped.append(CellOutcome(cell_id=cell.cell_id, run_id=run_id,
+                                       status="skipped"))
+        else:
+            pending.append(cell)
+    return pending, skipped
+
+
 def _run_cell(spec: ExperimentSpec) -> ExperimentResult:
     """Module-level worker so parallel executors can pickle the call."""
     return ExperimentRunner(parallel=False).run(spec)
@@ -150,8 +183,7 @@ class StudyRunner:
     def run_tags(self, study: StudySpec,
                  tags: Sequence[str] = ()) -> Tuple[str, ...]:
         """The full tag set attached to (and looked up for) a study's runs."""
-        return tuple(sorted({study_tag(study), *study.tags,
-                             *(str(t) for t in tags)}))
+        return study_run_tags(study, tags)
 
     def run(self, study: StudySpec, tags: Sequence[str] = (),
             resume: bool = True) -> StudyReport:
@@ -170,15 +202,10 @@ class StudyRunner:
         """
         all_tags = self.run_tags(study, tags)
         cells = study.expand()
-        pending: List[StudyCell] = []
-        outcomes: Dict[str, CellOutcome] = {}
-        for cell in cells:
-            run_id = run_id_for(cell.spec, all_tags)
-            if resume and run_id in self.store:
-                outcomes[cell.cell_id] = CellOutcome(
-                    cell_id=cell.cell_id, run_id=run_id, status="skipped")
-            else:
-                pending.append(cell)
+        pending, skipped = split_resumable_cells(study, self.store, all_tags,
+                                                 resume=resume, cells=cells)
+        outcomes: Dict[str, CellOutcome] = {
+            outcome.cell_id: outcome for outcome in skipped}
 
         # Every cell is persisted the moment its simulation finishes, so a
         # mid-study failure (one bad cell, a killed process) loses only the
@@ -209,6 +236,12 @@ class StudyRunner:
                 self._run_sequential(remaining, persist)
         else:
             self._run_sequential(pending, persist)
+
+        if any(outcome.status == "executed" for outcome in outcomes.values()):
+            # Fold this run's journal appends into index.json: one cheap
+            # O(cells) pass per study keeps the journal bounded and leaves
+            # a fresh compacted index for downstream (read-only) tooling.
+            self.store.compact_index()
 
         return StudyReport(
             study=study.name,

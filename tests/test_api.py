@@ -94,6 +94,45 @@ class TestSpecRoundTrip:
         assert spec.workload.scenario == "drifting"
         assert spec.workload.params == {}
 
+    def test_pre_overflow_spec_json_still_loads(self):
+        """Old (PR <= 4 era) spec JSON has no overflow knobs."""
+        legacy = ExperimentSpec().to_dict()
+        assert "overflow_penalty" not in legacy  # defaults stay unserialized
+        assert "token_capacity" not in legacy
+        spec = ExperimentSpec.from_dict(legacy)
+        assert spec.overflow_penalty == 0.0
+        assert spec.token_capacity is None
+
+    def test_default_overflow_knobs_keep_run_ids_stable(self):
+        """Content-hashed run ids predate the overflow knobs: a spec that
+        does not use them must hash exactly as it did before they existed,
+        or every pre-existing store would stop resuming."""
+        from repro.store import run_id_for, spec_fingerprint
+
+        plain = small_spec()
+        explicit_defaults = small_spec(overflow_penalty=0.0,
+                                       token_capacity=None)
+        assert spec_fingerprint(plain) == spec_fingerprint(explicit_defaults)
+        assert run_id_for(plain) == run_id_for(explicit_defaults)
+        assert spec_fingerprint(plain) != spec_fingerprint(
+            small_spec(overflow_penalty=1.0))
+
+    def test_overflow_knobs_round_trip(self):
+        spec = small_spec(overflow_penalty=1.5, token_capacity=4096)
+        data = spec.to_dict()
+        assert data["overflow_penalty"] == 1.5
+        assert data["token_capacity"] == 4096
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.overflow_penalty == 1.5
+        assert restored.token_capacity == 4096
+
+    def test_invalid_overflow_knobs_rejected(self):
+        with pytest.raises(ValueError, match="overflow_penalty"):
+            small_spec(overflow_penalty=-0.5)
+        with pytest.raises(ValueError, match="token_capacity"):
+            small_spec(token_capacity=0)
+
 
 class TestSpecValidation:
     def test_unknown_field_rejected(self):
@@ -279,6 +318,34 @@ class TestRunner:
                     == sequential.systems[key].breakdown_s)
             assert (parallel.systems[key].per_layer_relative_max_tokens
                     == sequential.systems[key].per_layer_relative_max_tokens)
+
+    def test_overflow_penalty_slows_bursty_churn(self):
+        """The capacity-overflow regression test: a bursty-churn workload
+        whose hotspots exceed the per-device token budget must get slower
+        when the penalty is on, and stay bit-identical when it is off."""
+        def bursty(**overrides):
+            return small_spec(
+                workload=WorkloadSpec(
+                    tokens_per_device=1024, layers=1, iterations=4, warmup=1,
+                    seed=7, scenario="bursty-churn", params={"period": 4}),
+                systems=("fsdp_ep",), reference="fsdp_ep", **overrides)
+
+        baseline = ExperimentRunner(parallel=False).run(bursty())
+        off = ExperimentRunner(parallel=False).run(
+            bursty(overflow_penalty=0.0, token_capacity=1024))
+        charged = ExperimentRunner(parallel=False).run(
+            bursty(overflow_penalty=1.0, token_capacity=1024))
+        # Off by default: a zero penalty changes nothing, and no overflow
+        # bucket appears in the breakdown.
+        assert off.throughputs() == baseline.throughputs()
+        assert "overflow" not in baseline.systems["fsdp_ep"].breakdown_s
+        # Charged: the bursty hotspots overflow the 1024-token budget.
+        assert (charged.systems["fsdp_ep"].mean_iteration_s
+                > baseline.systems["fsdp_ep"].mean_iteration_s)
+        assert charged.systems["fsdp_ep"].breakdown_s["overflow"] > 0.0
+        # The overflow result serializes and round-trips like any other.
+        assert ExperimentResult.from_dict(charged.to_dict()).to_dict() \
+            == charged.to_dict()
 
     def test_runner_executes_non_default_scenario(self):
         spec = small_spec(workload=WorkloadSpec(

@@ -316,3 +316,201 @@ class TestStudyCommands:
         assert code == 2
         err = capsys.readouterr().err
         assert "study:sweep-cluster-sizes" in err and "other" in err
+
+
+class TestStudyGate:
+    RUN_ARGS = TestStudyCommands.RUN_ARGS
+
+    def seed_store(self, store):
+        """A baseline-tagged run plus an identical untagged re-run."""
+        assert main(self.RUN_ARGS + ["--store", str(store),
+                                     "--tag", "baseline"]) == 0
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+
+    def test_gate_passes_on_identical_reruns(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self.seed_store(store)
+        capsys.readouterr()
+        code = main(["study", "gate", "--store", str(store),
+                     "--baseline", "baseline"])
+        assert code == 0
+        assert "gate: OK" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        import json as json_module
+
+        store_dir = tmp_path / "store"
+        self.seed_store(store_dir)
+        capsys.readouterr()
+        # Degrade every non-baseline run's stored throughput by 50%.
+        from repro.store import ResultStore
+
+        store = ResultStore(store_dir)
+        for entry in store.entries():
+            if "baseline" in entry.tags:
+                continue
+            path = store.run_path(entry.run_id)
+            payload = json_module.loads(path.read_text())
+            for system in payload["result"]["systems"].values():
+                system["throughput"] *= 0.5
+            path.write_text(json_module.dumps(payload))
+        store.rebuild_index()
+        code = main(["study", "gate", "--store", str(store_dir),
+                     "--baseline", "baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "gate: FAIL" in out and "throughput" in out
+        # The FAIL table attributes each regression to its run pair.
+        assert "baseline_run" in out and "candidate_run" in out
+        assert "sweep-cluster-sizes-" in out
+
+    def test_gate_without_baseline_runs_is_a_cli_error(self, tmp_path,
+                                                       capsys):
+        store = tmp_path / "store"
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        code = main(["study", "gate", "--store", str(store),
+                     "--baseline", "baseline"])
+        assert code == 2
+        assert "no baseline-tagged runs" in capsys.readouterr().err
+
+    def test_gate_on_missing_store_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["study", "gate", "--store", str(tmp_path / "nope"),
+                     "--baseline", "baseline"])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_gate_rejects_unknown_metric(self, tmp_path, capsys):
+        """A typo'd --metric must be an error, not a vacuous 'gate: OK'."""
+        store = tmp_path / "store"
+        self.seed_store(store)
+        capsys.readouterr()
+        code = main(["study", "gate", "--store", str(store),
+                     "--baseline", "baseline",
+                     "--metric", "thruoghput"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown gate metric" in err and "thruoghput" in err
+        # breakdown.* components are legitimate gate metrics.
+        code = main(["study", "gate", "--store", str(store),
+                     "--baseline", "baseline",
+                     "--metric", "breakdown.expert_compute"])
+        assert code == 0
+        capsys.readouterr()
+        # ...but only when they exist in the compared runs: a typo'd
+        # component must not vacuously pass either.
+        code = main(["study", "gate", "--store", str(store),
+                     "--baseline", "baseline",
+                     "--metric", "breakdown.expert_compupe"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "appear in none" in err and "expert_compupe" in err
+
+
+class TestFleetCommands:
+    RUN_ARGS = ["fleet", "run", "sweep-cluster-sizes",
+                "--param", "sizes=[1,2]", "--param", "devices_per_node=4",
+                "--param", "tokens_per_device=1024",
+                "--param", "iterations=2", "--param", "warmup=1",
+                "--workers", "2", "--quiet"]
+
+    def test_fleet_run_executes_and_resumes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2" in out and "failed 0" in out
+        assert "2 workers" in out
+        assert (store / "index.json").exists()
+        assert (store / "index.journal").read_text() == ""
+        assert len(list((store / "runs").glob("*.json"))) == 2
+        # Re-running resumes every cell.
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        assert "skipped 2" in capsys.readouterr().out
+
+    def test_fleet_resumes_past_study_run(self, tmp_path, capsys):
+        """'repro study run' then 'repro fleet run' share run identity."""
+        store = tmp_path / "store"
+        assert main(TestStudyCommands.RUN_ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        assert "executed 0, skipped 2" in capsys.readouterr().out
+
+    def test_study_run_rejects_sequential_with_workers(self, tmp_path,
+                                                       capsys):
+        code = main(["study", "run", "sweep-cluster-sizes",
+                     "--param", "sizes=[1]", "--store", str(tmp_path),
+                     "--sequential", "--workers", "2"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_study_run_workers_fast_path(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        code = main(["study", "run", "sweep-cluster-sizes",
+                     "--param", "sizes=[1,2]",
+                     "--param", "devices_per_node=4",
+                     "--param", "tokens_per_device=1024",
+                     "--param", "iterations=2", "--param", "warmup=1",
+                     "--workers", "2", "--store", str(store)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet 'sweep-cluster-sizes'" in out
+        assert "executed 2" in out
+
+    def test_fleet_status_and_workers(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "sweep-cluster-sizes" in out
+        assert main(["fleet", "workers", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "worker-" in out
+
+    def test_fleet_status_on_missing_store_is_a_cli_error(self, tmp_path,
+                                                          capsys):
+        code = main(["fleet", "status", "--store", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_fleet_status_accepts_queue_without_store(self, tmp_path,
+                                                      capsys):
+        store = tmp_path / "store"
+        assert main(self.RUN_ARGS + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        (queue_dir,) = sorted((store / "queue").iterdir())
+        assert main(["fleet", "status", "--queue", str(queue_dir)]) == 0
+        assert "finished" in capsys.readouterr().out
+        # Neither flag is a usage error, not a crash.
+        assert main(["fleet", "status"]) == 2
+        assert "pass --store" in capsys.readouterr().err
+
+    def test_fleet_run_zero_workers_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["fleet", "run", "sweep-cluster-sizes",
+                     "--store", str(tmp_path), "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestOverflowFlags:
+    ARGS = ["--num-nodes", "1", "--devices-per-node", "4",
+            "--tokens-per-device", "1024", "--iterations", "3",
+            "--systems", "fsdp_ep", "--reference", "fsdp_ep",
+            "--scenario", "bursty-churn", "--param", "period=4",
+            "--sequential"]
+
+    def test_overflow_flags_reach_the_spec(self, capsys):
+        code = main(["run", *self.ARGS, "--overflow-penalty", "1.0",
+                     "--token-capacity", "1024", "--dump-spec", "-"])
+        assert code == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.overflow_penalty == 1.0
+        assert spec.token_capacity == 1024
+
+    def test_overflow_penalty_changes_the_report(self, capsys):
+        assert main(["compare", *self.ARGS]) == 0
+        plain = capsys.readouterr().out
+        assert main(["compare", *self.ARGS, "--overflow-penalty", "1.0",
+                     "--token-capacity", "1024"]) == 0
+        charged = capsys.readouterr().out
+        assert charged != plain

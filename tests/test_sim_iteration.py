@@ -144,3 +144,84 @@ class TestSimulateIteration:
         ckpt = make_simulator(small_topology, activation_checkpointing=True)
         assert (ckpt.simulate_iteration(0, decisions).total_time
                 > plain.simulate_iteration(0, decisions).total_time)
+
+
+class TestCapacityOverflow:
+    """The token-drop/recompute penalty for memory-overflowing hotspots."""
+
+    def decisions(self, topology, seed=1):
+        policy = StaticEPPolicy(topology, 8, 2, EXPERT_BYTES)
+        return policy.decide_iteration(skewed_routing(topology, seed=seed))
+
+    def test_off_by_default(self, small_topology):
+        sim = make_simulator(small_topology)
+        result = sim.simulate_iteration(0, self.decisions(small_topology))
+        assert "overflow" not in result.breakdown
+        assert all(layer.overflow_time == 0.0 for layer in result.layers)
+
+    def test_penalty_charges_overflowing_tokens(self, small_topology):
+        decisions = self.decisions(small_topology)
+        plain = make_simulator(small_topology)
+        base = plain.simulate_iteration(0, decisions)
+        # A capacity below the hottest device's routed tokens must overflow.
+        capacity = max(layer.max_tokens for layer in base.layers) // 2
+        charged = make_simulator(small_topology, overflow_penalty=1.0,
+                                 token_capacity=capacity)
+        result = charged.simulate_iteration(0, decisions)
+        assert result.total_time > base.total_time
+        assert result.breakdown["overflow"] > 0.0
+        assert any(layer.overflow_tokens > 0 for layer in result.layers)
+        # The charge scales linearly with the penalty factor.
+        double = make_simulator(small_topology, overflow_penalty=2.0,
+                                token_capacity=capacity)
+        assert double.simulate_iteration(0, decisions).breakdown["overflow"] \
+            == pytest.approx(2 * result.breakdown["overflow"])
+
+    def test_no_overflow_below_capacity(self, small_topology):
+        decisions = self.decisions(small_topology)
+        plain = make_simulator(small_topology)
+        base = plain.simulate_iteration(0, decisions)
+        roomy = make_simulator(small_topology, overflow_penalty=1.0,
+                               token_capacity=10 ** 9)
+        result = roomy.simulate_iteration(0, decisions)
+        assert result.total_time == pytest.approx(base.total_time)
+        assert result.breakdown["overflow"] == 0.0
+
+    def test_capacity_derived_from_device_memory(self, small_topology):
+        for paradigm, kwargs in (("fsep", {}), ("fsdp_ep", {"ep_size": 4}),
+                                 ("megatron", {"ep_size": 4, "tp_size": 2})):
+            sim = make_simulator(small_topology, paradigm,
+                                 overflow_penalty=1.0, **kwargs)
+            assert sim.device_token_capacity() > 0
+        pinned = make_simulator(small_topology, overflow_penalty=1.0,
+                                token_capacity=123)
+        assert pinned.device_token_capacity() == 123
+
+    def test_derived_capacity_is_in_routed_token_units(self):
+        """The routing plan's per-device sums count top_k routed copies per
+        input token, so the memory-derived budget must carry the same
+        factor: a memory-feasible, perfectly balanced workload must not
+        read as overflowing."""
+        from repro.cluster.memory import MemoryModel
+        from repro.cluster.topology import ClusterTopology
+
+        # Big enough that Mixtral-8x7B's sharded states genuinely fit.
+        topology = ClusterTopology(num_nodes=8, devices_per_node=8)
+        sim = make_simulator(topology, overflow_penalty=1.0)
+        memory = MemoryModel(CONFIG, topology, activation_checkpointing=False)
+        input_budget = memory.max_tokens_per_device("fsep")
+        assert input_budget >= 8192  # the config is memory-feasible here
+        assert sim.device_token_capacity() == input_budget * CONFIG.top_k
+        # Balanced routing at the simulator's own tokens_per_device (well
+        # within memory) must charge zero overflow.
+        policy = StaticEPPolicy(topology, 8, 2, EXPERT_BYTES)
+        decisions = policy.decide_iteration(balanced_routing(
+            topology.num_devices, 8, 8192, 2, num_layers=2).iteration(0))
+        result = sim.simulate_iteration(0, decisions)
+        assert result.breakdown["overflow"] == 0.0
+
+    def test_validation(self, small_topology):
+        with pytest.raises(ValueError, match="overflow_penalty"):
+            make_simulator(small_topology, overflow_penalty=-1.0)
+        with pytest.raises(ValueError, match="token_capacity"):
+            make_simulator(small_topology, token_capacity=0)

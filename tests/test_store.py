@@ -156,20 +156,80 @@ class TestAtomicity:
 
 
 class TestIndex:
-    def test_index_is_maintained_incrementally(self, tmp_path, result):
+    def test_put_appends_a_journal_line_not_a_full_index(self, tmp_path,
+                                                         result):
         store = ResultStore(tmp_path)
         run = store.put(result, created_at=1.0)
-        index = json.loads(store.index_path.read_text())
-        assert run.run_id in index["runs"]
-        entry = index["runs"][run.run_id]
+        # O(1) increment: one journal line, no compacted index.json yet.
+        assert not store.index_path.exists()
+        (line,) = store.journal_path.read_text().splitlines()
+        record = json.loads(line)
+        assert record["op"] == "put"
+        entry = record["entry"]
+        assert entry["run_id"] == run.run_id
         assert entry["scenario"] == "drifting"
         assert set(entry["metrics"]) == {"fsdp_ep", "laer"}
+        # The merged read view serves queries straight from the journal.
+        assert [e.run_id for e in store.entries()] == [run.run_id]
+
+    def test_journal_grows_one_line_per_put(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(result, tags=["a"], created_at=1.0)
+        store.put(result, tags=["b"], created_at=2.0)
+        assert len(store.journal_path.read_text().splitlines()) == 2
+
+    def test_compact_put_escape_hatch_folds_into_index(self, tmp_path,
+                                                       result):
+        store = ResultStore(tmp_path)
+        journaled = store.put(result, tags=["j"], created_at=1.0)
+        compacted = store.put(result, tags=["c"], created_at=2.0,
+                              compact=True)
+        index = json.loads(store.index_path.read_text())
+        assert set(index["runs"]) == {journaled.run_id, compacted.run_id}
+        assert store.journal_path.read_text() == ""
+
+    def test_compact_index_matches_cold_rebuild_byte_for_byte(self, tmp_path,
+                                                              result):
+        store = ResultStore(tmp_path)
+        store.put(result, tags=["a"], created_at=1.0)
+        store.put(result, tags=["b"], created_at=2.0)
+        assert store.compact_index() == 2
+        compacted = store.index_path.read_bytes()
+        assert store.journal_path.read_text() == ""
+        assert store.rebuild_index() == 2
+        assert store.index_path.read_bytes() == compacted
+
+    def test_reads_survive_a_concurrent_compaction(self, tmp_path, result,
+                                                   monkeypatch):
+        """Lock-free reads snapshot journal-then-index: a compaction that
+        lands between the two reads must not make journaled runs vanish."""
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)  # journal-only so far
+        real_read_index = ResultStore._read_index_file
+
+        def compact_between_reads(self):
+            # Simulate the race: by the time the index file is read, a
+            # concurrent compactor has folded and truncated the journal.
+            monkeypatch.undo()
+            self.compact_index()
+            return real_read_index(self)
+
+        monkeypatch.setattr(ResultStore, "_read_index_file",
+                            compact_between_reads)
+        assert [e.run_id for e in store.entries()] == [run.run_id]
+
+    def test_torn_journal_line_is_skipped(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        run = store.put(result, created_at=1.0)
+        with store.journal_path.open("a") as handle:
+            handle.write('{"op":"put","entry":{"run_id":"torn')  # no newline
+        assert [e.run_id for e in store.entries()] == [run.run_id]
 
     def test_rebuild_from_cold_directory(self, tmp_path, result):
         store = ResultStore(tmp_path)
         run = store.put(result, tags=["t"], created_at=1.0)
-        store.index_path.unlink()
-        # Reads rebuild the index transparently...
+        store.journal_path.unlink()
+        # Reads rebuild the lost index layer from the run files...
         cold = ResultStore(tmp_path)
         assert [e.run_id for e in cold.query(tag="t")] == [run.run_id]
         assert cold.index_path.exists()
@@ -177,11 +237,39 @@ class TestIndex:
         store.index_path.unlink()
         assert store.rebuild_index() == 1
 
-    def test_corrupt_index_is_rebuilt(self, tmp_path, result):
+    def test_cold_rebuild_wins_over_a_stale_journal(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        keep = store.put(result, tags=["keep"], created_at=1.0)
+        stale = store.put(result, tags=["stale"], created_at=2.0)
+        # The run file vanishes out-of-band; the journal still records it.
+        store.run_path(stale.run_id).unlink()
+        assert {e.run_id for e in store.entries()} == {keep.run_id,
+                                                       stale.run_id}
+        # A cold rebuild trusts the run files, not the journal...
+        assert store.rebuild_index() == 1
+        assert [e.run_id for e in store.entries()] == [keep.run_id]
+        # ...and empties the journal so the phantom cannot resurface.
+        assert store.journal_path.read_text() == ""
+
+    def test_corrupt_index_is_absorbed_by_journal_replay(self, tmp_path,
+                                                         result):
         store = ResultStore(tmp_path)
         run = store.put(result, created_at=1.0)
         store.index_path.write_text("{not json")
         assert [e.run_id for e in store.entries()] == [run.run_id]
+
+    def test_corrupt_index_with_stale_journal_triggers_rebuild(self, tmp_path,
+                                                               result):
+        store = ResultStore(tmp_path)
+        old = store.put(result, tags=["old"], created_at=1.0)
+        store.compact_index()
+        new = store.put(result, tags=["new"], created_at=2.0)
+        # The compacted index (the only record of `old` besides its run
+        # file) is corrupted: the journal alone cannot cover the store, so
+        # reads must fall back to a rebuild from the run files.
+        store.index_path.write_text("{not json")
+        ids = {entry.run_id for entry in store.entries()}
+        assert ids == {old.run_id, new.run_id}
 
     def test_rebuild_skips_unreadable_run_files(self, tmp_path, result):
         store = ResultStore(tmp_path)
@@ -192,7 +280,7 @@ class TestIndex:
     def test_put_on_missing_index_does_not_mask_older_runs(self, tmp_path,
                                                            result):
         store = ResultStore(tmp_path)
-        old = store.put(result, tags=["old"], created_at=1.0)
+        old = store.put(result, tags=["old"], created_at=1.0, compact=True)
         store.index_path.unlink()
         new = store.put(result, tags=["new"], created_at=2.0)
         ids = {entry.run_id for entry in store.entries()}
