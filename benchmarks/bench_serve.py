@@ -1,0 +1,183 @@
+"""Serving-tier perf harness: cache-hit vs cache-miss throughput.
+
+Starts a real :class:`repro.serve.ReproServer` (loopback TCP, in-process
+pool executor) on a fresh store and measures three things through the
+daemon's actual HTTP surface:
+
+* **cold** -- requests/s when every submission is a distinct spec, i.e.
+  every request simulates (the price the cache saves us from paying);
+* **hot** -- requests/s re-submitting one spec over a keep-alive
+  connection, answered O(1) from the content-addressed result cache;
+* **coalescing** -- N threads submitting one *fresh* spec concurrently:
+  amplification = requests served per simulation actually executed
+  (N requests riding one execution -> amplification N).
+
+Records to ``BENCH_serve.json`` at the repository root and asserts the
+serving floor: hot throughput at least ``HOT_OVER_COLD_FLOOR`` x cold, and
+coalescing amplification equal to the thread count (exactly one execution).
+
+Usage::
+
+    python benchmarks/bench_serve.py             # full record
+    python benchmarks/bench_serve.py --quick     # CI smoke
+
+Exits non-zero when a floor is missed (``--no-check`` to disable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api.specs import ClusterSpec, ExperimentSpec, WorkloadSpec
+from repro.serve import ReproServer, ServeClient
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+#: Quick (CI smoke) runs land next to, not on top of, the checked-in record.
+QUICK_RESULT_PATH = RESULT_PATH.with_name("BENCH_serve_quick.json")
+
+#: The serving tier's reason to exist: answering from the cache must beat
+#: re-simulating by at least this factor.
+HOT_OVER_COLD_FLOOR = 20.0
+
+
+def bench_spec(seed: int, quick: bool) -> ExperimentSpec:
+    """One benchmark cell; ``seed`` differentiates the cold submissions.
+
+    Heavy enough (multi-node, tens of iterations) that a cold request
+    measures simulation, not HTTP framing -- the same reason the fleet
+    benchmark avoids near-instant cells.
+    """
+    return ExperimentSpec(
+        name="bench-serve",
+        cluster=ClusterSpec(num_nodes=2, devices_per_node=8),
+        workload=WorkloadSpec(tokens_per_device=8192, layers=2,
+                              iterations=8 if quick else 24, warmup=2,
+                              seed=seed),
+        systems=("laer",),
+        reference="laer",
+    )
+
+
+def measure_cold(client: ServeClient, quick: bool, count: int) -> float:
+    """Requests/s over ``count`` distinct specs (every one simulates)."""
+    start = time.perf_counter()
+    for seed in range(count):
+        reply = client.submit(bench_spec(100 + seed, quick))
+        assert reply.done and reply.cache == "miss", reply
+    return count / (time.perf_counter() - start)
+
+
+def measure_hot(client: ServeClient, quick: bool, count: int) -> float:
+    """Requests/s re-submitting one already-stored spec ``count`` times."""
+    spec = bench_spec(100, quick)  # stored by the cold phase
+    start = time.perf_counter()
+    for _ in range(count):
+        reply = client.submit(spec)
+        assert reply.done and reply.cache == "hit", reply
+    return count / (time.perf_counter() - start)
+
+
+def measure_coalescing(address: str, quick: bool, threads: int) -> dict:
+    """N concurrent submissions of one fresh spec: executions + served."""
+    spec = bench_spec(999, quick)  # never seen by the cold/hot phases
+    control = ServeClient(address, client="bench-control")
+    executed_before = control.status()["executor"]["executed"]
+    barrier = threading.Barrier(threads)
+    caches = [None] * threads
+
+    def submit(index: int) -> None:
+        worker = ServeClient(address, client=f"bench-{index}")
+        barrier.wait(timeout=30)
+        caches[index] = worker.submit(spec).cache
+        worker.close()
+
+    pool = [threading.Thread(target=submit, args=(i,))
+            for i in range(threads)]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=600)
+    elapsed = time.perf_counter() - start
+    executed = control.status()["executor"]["executed"] - executed_before
+    control.close()
+    assert all(cache is not None for cache in caches)
+    return {
+        "threads": threads,
+        "executions": executed,
+        "caches": {cache: caches.count(cache) for cache in set(caches)},
+        "amplification": threads / executed if executed else float("inf"),
+        "wall_s": round(elapsed, 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller counts for the CI smoke step")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without asserting the floors")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    output = args.output or (QUICK_RESULT_PATH if args.quick else RESULT_PATH)
+    cold_count = 2 if args.quick else 4
+    hot_count = 100 if args.quick else 500
+    threads = 4 if args.quick else 8
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    try:
+        with ReproServer(workdir / "store", port=0) as server:
+            client = ServeClient(server.address, client="bench")
+            client.wait_ready()
+            cold_rps = measure_cold(client, args.quick, cold_count)
+            hot_rps = measure_hot(client, args.quick, hot_count)
+            coalescing = measure_coalescing(server.address, args.quick,
+                                            threads)
+            client.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    ratio = hot_rps / cold_rps if cold_rps > 0 else float("inf")
+    record = {
+        "host": {"platform": platform.platform(),
+                 "python": platform.python_version()},
+        "config": {"cold_requests": cold_count, "hot_requests": hot_count,
+                   "quick": args.quick},
+        "cold_rps": round(cold_rps, 3),
+        "hot_rps": round(hot_rps, 1),
+        "hot_over_cold": round(ratio, 1),
+        "hot_latency_ms": round(1000.0 / hot_rps, 3) if hot_rps else None,
+        "coalescing": coalescing,
+        "floor": HOT_OVER_COLD_FLOOR,
+    }
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"cold {cold_rps:.2f} req/s, hot {hot_rps:.0f} req/s "
+          f"({ratio:.0f}x), coalescing {coalescing['threads']} requests -> "
+          f"{coalescing['executions']} execution(s) -> {output}")
+
+    failed = False
+    if not args.no_check:
+        if ratio < HOT_OVER_COLD_FLOOR:
+            print(f"FAIL: hot/cold ratio {ratio:.1f} under the "
+                  f"{HOT_OVER_COLD_FLOOR}x floor", file=sys.stderr)
+            failed = True
+        if coalescing["executions"] != 1:
+            print(f"FAIL: {coalescing['threads']} identical concurrent "
+                  f"submissions caused {coalescing['executions']} "
+                  f"executions (expected 1)", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Serving-tier quickstart: the README "Serving" section, runnable.
+
+Starts an in-process :class:`repro.serve.ReproServer` on a loopback port,
+then talks to it exactly like an external client would:
+
+1. a **cold** submission -- a cache miss, simulated once on the daemon's
+   resident executor and persisted to the store;
+2. the same spec again (different tags, different client) -- a **cache
+   hit**, answered O(1) from the content-addressed result store without
+   re-simulating;
+3. four concurrent submissions of one *fresh* spec -- **coalesced** onto
+   a single execution by the in-flight table.
+
+In production the daemon runs standalone (``repro serve --store ./store``)
+and clients use ``repro submit`` or :class:`repro.serve.ServeClient`
+from another process; the protocol is identical.
+
+Run with::
+
+    python examples/serve_quickstart.py [store-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.api import ClusterSpec, ExperimentSpec, WorkloadSpec
+from repro.serve import ReproServer, ServeClient
+
+
+def demo_spec(seed: int = 7) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="serve-demo",
+        cluster=ClusterSpec(num_nodes=1, devices_per_node=8),
+        workload=WorkloadSpec(tokens_per_device=4096, layers=2,
+                              iterations=8, warmup=2, seed=seed),
+        systems=("fsdp_ep", "laer"),
+        reference="fsdp_ep",
+    )
+
+
+def main(store_dir: str = "./serve-store") -> None:
+    with ReproServer(store_dir, port=0) as server:
+        print(f"daemon listening on {server.url} (store {store_dir})")
+        client = ServeClient(server.address, client="quickstart")
+
+        cold = client.submit(demo_spec())
+        print(f"1st submission: cache={cold.cache} run={cold.run_id} "
+              f"({cold.elapsed_s:.3f}s)  <- simulated")
+
+        hot = client.submit(demo_spec(), tags=("rerun",))
+        print(f"2nd submission: cache={hot.cache} run={hot.run_id} "
+              f"({hot.elapsed_s:.3f}s)  <- served from the store")
+
+        # N identical concurrent submissions share ONE execution.
+        fresh = demo_spec(seed=999)
+        caches = []
+
+        def submit(index: int) -> None:
+            worker = ServeClient(server.address, client=f"worker-{index}")
+            caches.append(worker.submit(fresh).cache)
+            worker.close()
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        print(f"4 concurrent submissions of a fresh spec: "
+              f"{sorted(caches)}")
+
+        status = client.status()
+        print(f"daemon status: {status['requests']['hits']} hits, "
+              f"{status['requests']['misses']} misses, "
+              f"{status['requests']['coalesced']} coalesced, "
+              f"{status['executor']['executed']} simulations executed, "
+              f"{status['store']['runs']} runs stored")
+        client.close()
+    print("daemon drained and stopped; the store persists -- inspect with:")
+    print(f"  repro store ls --store {store_dir}")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

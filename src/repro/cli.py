@@ -45,6 +45,32 @@ Provides quick access to the most common workflows without writing Python:
 
   ``repro study run --workers N`` is a shortcut for ``fleet run``.
 
+* ``repro serve`` -- the serving tier: a long-lived daemon answering
+  ExperimentSpec/StudySpec submissions over HTTP (or a Unix socket) straight
+  from the result cache -- the content-hashed run id is the memo key, so
+  anything ever stored is a cache hit; misses run once on a resident
+  executor, and identical concurrent submissions coalesce onto a single
+  execution (see :mod:`repro.serve`)::
+
+      repro serve --store ./study-store --port 8351
+      repro serve --store ./study-store --unix-socket /tmp/repro.sock
+
+* ``repro submit`` -- client for a running daemon: submit a spec (a JSON
+  file, or assembled from the same flags ``repro run`` takes), query
+  ``--status``, or ask for a graceful ``--shutdown``::
+
+      repro submit --address 127.0.0.1:8351 --scenario bursty --iterations 8
+      repro submit --address 127.0.0.1:8351 --spec exp.json --no-wait
+
+* ``repro store ls|compact|rebuild`` -- store maintenance without Python
+  one-liners: list stored runs, fold the append-only index journal into
+  ``index.json``, or regenerate the index from the run files (the truth).
+
+Exit codes (uniform across commands): **0** success; **1** execution or
+gate failure (a submitted run failed, ``study gate`` tripped, a fleet cell
+failed); **2** usage/environment errors (bad flags or spec, missing store,
+unreachable daemon).
+
 Workloads are scenarios: ``run``, ``compare``, ``plan`` and ``trace`` accept
 ``--scenario`` (any name from ``repro scenarios``) plus repeatable
 ``--param key=value`` scenario knobs, e.g.::
@@ -83,8 +109,23 @@ from repro.api import (
     run_planner_study,
 )
 from repro.fleet import QUEUE_DIR_NAME, WorkQueue, launch_fleet
+from repro.serve import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    FleetQueueExecutor,
+    PoolExecutor,
+    ReproServer,
+    ServeClient,
+    ServeUnavailable,
+)
 from repro.sim.systems import available_systems, system_descriptions
-from repro.store import DIFF_METRICS, IndexEntry, ResultStore
+from repro.store import (
+    AUTO_COMPACT_BYTES,
+    AUTO_COMPACT_LINES,
+    DIFF_METRICS,
+    IndexEntry,
+    ResultStore,
+)
 from repro.study import (
     StudyCellError,
     StudyRunner,
@@ -268,6 +309,98 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="DIR",
                                help="inspect one queue directory instead of "
                                     "every queue under the store")
+
+    serve = sub.add_parser(
+        "serve", help="serve specs from the result cache (long-lived daemon)")
+    _add_store_arg(serve)
+    serve.add_argument("--host", type=str, default=DEFAULT_HOST,
+                       help=f"TCP bind host (default: {DEFAULT_HOST})")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP bind port, 0 picks a free one "
+                            f"(default: {DEFAULT_PORT})")
+    serve.add_argument("--unix-socket", type=str, default=None, metavar="PATH",
+                       help="serve on an AF_UNIX socket path instead of TCP")
+    serve.add_argument("--executor", choices=("pool", "fleet"),
+                       default="pool",
+                       help="where cache misses execute: an in-process pool "
+                            "or an attached fleet work queue drained by "
+                            "external workers (default: pool)")
+    serve.add_argument("--max-workers", type=int, default=1, metavar="N",
+                       help="concurrent simulations of the pool executor "
+                            "(default: 1)")
+    serve.add_argument("--queue", type=str, default=None, metavar="DIR",
+                       help="fleet executor's queue directory (default: "
+                            "<store>/queue/serve)")
+    serve.add_argument("--auto-compact-lines", type=int,
+                       default=AUTO_COMPACT_LINES, metavar="N",
+                       help="fold the store's index journal into index.json "
+                            "once it holds N lines (0 disables; default: "
+                            f"{AUTO_COMPACT_LINES})")
+    serve.add_argument("--auto-compact-bytes", type=int,
+                       default=AUTO_COMPACT_BYTES, metavar="N",
+                       help="likewise, once the journal reaches N bytes "
+                            f"(0 disables; default: {AUTO_COMPACT_BYTES})")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="submit a spec to a running 'repro serve' daemon")
+    submit.add_argument("--address", type=str,
+                        default=f"{DEFAULT_HOST}:{DEFAULT_PORT}",
+                        metavar="ADDR",
+                        help='daemon address: "host:port", a bare port, or '
+                             'a "unix:PATH" socket (default: '
+                             f'{DEFAULT_HOST}:{DEFAULT_PORT})')
+    submit.add_argument("--spec", type=str, default=None, metavar="PATH",
+                        help="ExperimentSpec or StudySpec JSON file to "
+                             "submit (overrides the workload/system flags)")
+    submit.add_argument("--client", type=str, default=None,
+                        help="client name; runs executed for us are tagged "
+                             "client:<name>")
+    submit.add_argument("--tag", action="append", default=[],
+                        help="extra tag stored on runs this submission "
+                             "causes, repeatable")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return immediately after scheduling a miss "
+                             "instead of waiting for the result")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cap on how long to wait for a miss to execute")
+    submit.add_argument("--json", action="store_true",
+                        help="print the raw JSON reply instead of a summary")
+    submit.add_argument("--status", action="store_true",
+                        help="print the daemon's /status and exit")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="ask the daemon to drain and exit")
+    _add_common_workload_args(submit)
+    _add_simulation_args(submit)
+    submit.add_argument("--name", type=str, default="experiment",
+                        help="experiment name recorded in the spec")
+
+    store_cmd = sub.add_parser(
+        "store", help="result-store maintenance (ls/compact/rebuild)")
+    stsub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    store_ls = stsub.add_parser("ls", help="list the runs stored in a store")
+    _add_store_arg(store_ls)
+    store_ls.add_argument("--name", type=str, default=None,
+                          help="filter by experiment name ('prefix*' allowed)")
+    store_ls.add_argument("--system", type=str, default=None,
+                          help="filter by system key")
+    store_ls.add_argument("--scenario", type=str, default=None,
+                          help="filter by routing scenario")
+    store_ls.add_argument("--cluster-size", type=int, default=None,
+                          help="filter by total device count")
+    store_ls.add_argument("--tag", type=str, default=None,
+                          help="filter by tag")
+
+    store_compact = stsub.add_parser(
+        "compact", help="fold the append-only index journal into index.json")
+    _add_store_arg(store_compact)
+
+    store_rebuild = stsub.add_parser(
+        "rebuild", help="regenerate the index from the run files (the truth)")
+    _add_store_arg(store_rebuild)
     return parser
 
 
@@ -877,6 +1010,147 @@ def cmd_fleet_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Serving tier and store maintenance
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon in the foreground until shutdown."""
+    store = ResultStore(args.store,
+                        auto_compact_lines=args.auto_compact_lines,
+                        auto_compact_bytes=args.auto_compact_bytes)
+    if args.executor == "fleet":
+        queue_root = args.queue or store.root / QUEUE_DIR_NAME / "serve"
+        executor = FleetQueueExecutor(store, WorkQueue(queue_root))
+    else:
+        if args.max_workers < 1:
+            print("error: --max-workers must be at least 1", file=sys.stderr)
+            return 2
+        executor = PoolExecutor(store, max_workers=args.max_workers)
+    try:
+        server = ReproServer(store, host=args.host, port=args.port,
+                             unix_socket=args.unix_socket,
+                             executor=executor, verbose=args.verbose)
+    except OSError as error:
+        print(f"error: cannot bind serve daemon: {error}", file=sys.stderr)
+        return 2
+    print(f"repro-serve listening on {server.url} "
+          f"(store {store.root}, executor {args.executor})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-serve: draining...", file=sys.stderr)
+    finally:
+        server.close()
+    print("repro-serve: drained and stopped")
+    return 0
+
+
+def _submit_spec_payload(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
+    """The ``--spec`` file (experiment or study, by shape) or flag-built spec."""
+    if args.spec:
+        try:
+            payload = json.loads(Path(args.spec).read_text())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load spec {args.spec!r}: {error}",
+                  file=sys.stderr)
+            return None
+        if not isinstance(payload, dict):
+            print(f"error: {args.spec!r} is not a JSON object",
+                  file=sys.stderr)
+            return None
+        return payload
+    spec = _spec_or_error(args, warmup=args.warmup, systems=args.systems,
+                          reference=args.reference, name=args.name)
+    return None if spec is None else spec.to_dict()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    client = ServeClient(args.address, client=args.client)
+    try:
+        if args.status:
+            print(json.dumps(client.status(), indent=2))
+            return 0
+        if args.shutdown:
+            reply = client.shutdown()
+            print(f"daemon at {client.address}: "
+                  f"{reply.get('status', reply)}")
+            return 0
+        payload = _submit_spec_payload(args)
+        if payload is None:
+            return 2
+        reply = client.submit(payload, tags=args.tag, wait=not args.no_wait,
+                              timeout=args.timeout)
+    except ServeUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(reply.raw, indent=2))
+    elif reply.kind == "study":
+        cache = reply.cache if isinstance(reply.cache, dict) else {}
+        print(f"study {reply.raw.get('study', '?')!r}: {reply.status} "
+              f"({len(reply.cells)} cells: {cache.get('hit', 0)} hit, "
+              f"{cache.get('coalesced', 0)} coalesced, "
+              f"{cache.get('miss', 0)} executed)")
+        for cell in reply.cells:
+            line = f"  {cell.get('cell_id')}: {cell.get('run_id')}"
+            if cell.get("error"):
+                line += f"  FAILED: {cell['error']}"
+            print(line)
+    else:
+        print(f"{reply.status} cache={reply.cache} run={reply.run_id} "
+              f"({reply.elapsed_s:.3f}s)")
+        if reply.error:
+            print(f"error: {reply.error}", file=sys.stderr)
+        if reply.entry:
+            print_report(format_table(
+                _entry_rows([IndexEntry.from_dict(reply.entry)]),
+                title=f"Run {reply.run_id}"))
+    if reply.status == "failed":
+        return 1
+    return 0
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    return cmd_study_ls(args)
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        journal_bytes = store.journal_path.stat().st_size
+    except OSError:
+        journal_bytes = 0
+    rows = store.compact_index()
+    print(f"compacted {store.root}: {rows} run(s) in index.json, "
+          f"journal folded ({journal_bytes} bytes -> 0)")
+    return 0
+
+
+def cmd_store_rebuild(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    rows = store.rebuild_index()
+    print(f"rebuilt {store.root}: {rows} run(s) indexed from "
+          f"{store.runs_dir}")
+    return 0
+
+
+STORE_COMMANDS = {
+    "ls": cmd_store_ls,
+    "compact": cmd_store_compact,
+    "rebuild": cmd_store_rebuild,
+}
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    return STORE_COMMANDS[args.store_command](args)
+
+
 STUDY_COMMANDS = {
     "run": cmd_study_run,
     "ls": cmd_study_ls,
@@ -912,6 +1186,9 @@ COMMANDS = {
     "studies": cmd_studies,
     "study": cmd_study,
     "fleet": cmd_fleet,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "store": cmd_store,
 }
 
 

@@ -1,0 +1,38 @@
+"""Serving tier: a long-lived daemon answering spec submissions from the
+result cache.
+
+The store's content-hashed run ids make every stored run a memo entry;
+:mod:`repro.serve` puts an HTTP front door on that: cache hits answered in
+O(1), misses executed once on a resident executor, identical concurrent
+requests coalesced onto a single execution.  See
+:class:`repro.serve.ReproServer` (daemon), :class:`repro.serve.ServeClient`
+(client), and the ``repro serve`` / ``repro submit`` CLI commands.
+"""
+
+from repro.serve.coalescing import InFlightEntry, InFlightTable
+from repro.serve.daemon import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ReproServer,
+    ServeApp,
+    ServeError,
+    parse_submission,
+)
+from repro.serve.executor import FleetQueueExecutor, PoolExecutor
+from repro.serve.client import ServeClient, ServeUnavailable, SubmitReply
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "FleetQueueExecutor",
+    "InFlightEntry",
+    "InFlightTable",
+    "PoolExecutor",
+    "ReproServer",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailable",
+    "SubmitReply",
+    "parse_submission",
+]

@@ -1,0 +1,266 @@
+"""Thin client for the ``repro serve`` daemon (TCP or Unix socket).
+
+Everything speaks the daemon's small JSON protocol
+(:mod:`repro.serve.daemon`); nothing here imports the simulator, so a
+front-end process embedding this client stays light.  Connections are
+persistent (HTTP/1.1 keep-alive) and *per-thread*, so any number of
+threads may hammer one :class:`ServeClient` concurrently -- the shape the
+coalescing tests and the serving benchmark need.
+
+Usage::
+
+    client = ServeClient("127.0.0.1:8351", client="alice")
+    reply = client.submit(spec)              # ExperimentSpec, StudySpec
+    reply = client.submit({"workload": ...}) # ...or their dict forms
+    reply.cache                              # "hit" | "miss" | "coalesced"
+    envelope = client.result(reply.run_id)   # full stored run JSON
+    client.status()                          # server counters
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+#: Connection errors worth one reconnect-and-retry: the daemon drops idle
+#: keep-alive connections after a few seconds, so a client that paused
+#: between requests finds its cached connection dead on the next use.
+_RETRYABLE = (http.client.RemoteDisconnected, http.client.CannotSendRequest,
+              ConnectionError, BrokenPipeError)
+
+
+class ServeUnavailable(ConnectionError):
+    """The daemon could not be reached (connect/read failure, not HTTP)."""
+
+
+class _TCPHTTPConnection(http.client.HTTPConnection):
+    """Plain TCP connection with ``TCP_NODELAY`` (the daemon sets it too):
+    Nagle + delayed ACK otherwise adds ~40ms to every request on a
+    keep-alive loopback connection, swamping the cache-hit service time."""
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` connection over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+@dataclass(frozen=True)
+class SubmitReply:
+    """Decoded ``POST /run`` response."""
+
+    http_status: int
+    status: str            # "done" | "scheduled" | "failed"
+    cache: Union[str, Dict[str, int]]  # str for specs, counts for studies
+    run_id: str = ""       # experiment submissions only
+    fingerprint: str = ""
+    kind: str = "experiment"
+    entry: Optional[Dict[str, Any]] = None
+    cells: Tuple[Dict[str, Any], ...] = ()
+    error: str = ""
+    elapsed_s: float = 0.0
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    @property
+    def hit(self) -> bool:
+        """Whether no simulation was caused anywhere by this submission."""
+        if isinstance(self.cache, Mapping):
+            return self.cache.get("miss", 0) == 0
+        return self.cache == "hit"
+
+    @classmethod
+    def from_response(cls, http_status: int,
+                      body: Mapping[str, Any]) -> "SubmitReply":
+        return cls(
+            http_status=http_status,
+            status=str(body.get("status", "failed")),
+            cache=body.get("cache", ""),
+            run_id=str(body.get("run_id", "")),
+            fingerprint=str(body.get("fingerprint", "")),
+            kind=str(body.get("kind", "experiment")),
+            entry=body.get("entry"),
+            cells=tuple(body.get("cells", ())),
+            error=str(body.get("error", "")),
+            elapsed_s=float(body.get("elapsed_s", 0.0)),
+            raw=dict(body),
+        )
+
+
+class ServeClient:
+    """Client for one daemon address.
+
+    Args:
+        address: ``"host:port"``, a bare port (``"8351"``), a ``unix:``
+            prefixed socket path, or a filesystem path to the socket.
+        client: Client name sent with submissions; the daemon tags runs it
+            executes for us with ``client:<name>``.
+        timeout: Socket timeout per request (connect and read).
+    """
+
+    def __init__(self, address: Union[str, int, Path],
+                 client: Optional[str] = None, timeout: float = 630.0):
+        self.client = client
+        self.timeout = float(timeout)
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._unix_path: Optional[str] = None
+        address = str(address)
+        if address.startswith("unix:"):
+            self._unix_path = address[len("unix:"):]
+        elif "/" in address:
+            self._unix_path = address
+        elif ":" in address:
+            host, _, port = address.rpartition(":")
+            self._host, self._port = host, int(port)
+        else:
+            self._host, self._port = "127.0.0.1", int(address)
+        self._local = threading.local()
+
+    @property
+    def address(self) -> str:
+        if self._unix_path is not None:
+            return self._unix_path
+        return f"{self._host}:{self._port}"
+
+    # -- connection management ------------------------------------------
+    def _new_connection(self) -> http.client.HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(self._unix_path, timeout=self.timeout)
+        return _TCPHTTPConnection(self._host, self._port,
+                                  timeout=self.timeout)
+
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._new_connection()
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (others close lazily
+        when their threads drop the client)."""
+        self._drop_connection()
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None
+                 ) -> Tuple[int, Dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        # One retry on a dead cached connection (daemon idle-timeout);
+        # submissions are memoized server-side, so a retry is safe.
+        for attempt in range(2):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionRefusedError, FileNotFoundError) as error:
+                # Nothing is listening (or the unix socket is gone):
+                # retrying cannot help.
+                self._drop_connection()
+                raise ServeUnavailable(
+                    f"repro-serve at {self.address} unreachable: "
+                    f"{error}") from error
+            except _RETRYABLE:
+                self._drop_connection()
+                if attempt:
+                    raise
+            except OSError as error:
+                self._drop_connection()
+                raise ServeUnavailable(
+                    f"repro-serve at {self.address} unreachable: "
+                    f"{error}") from error
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except ValueError:
+            decoded = {"error": raw.decode(errors="replace")}
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return response.status, decoded
+
+    # -- protocol -------------------------------------------------------
+    def submit(self, spec: Any, tags: Sequence[str] = (), wait: bool = True,
+               timeout: Optional[float] = None) -> SubmitReply:
+        """Submit an experiment or study (object or dict form).
+
+        Raises :class:`ServeUnavailable` when the daemon is unreachable;
+        protocol-level failures come back as a :class:`SubmitReply` with
+        ``status == "failed"`` (or an ``error`` on 4xx).
+        """
+        if hasattr(spec, "to_dict"):
+            spec = spec.to_dict()
+        if not isinstance(spec, Mapping):
+            raise TypeError("submit() wants an ExperimentSpec/StudySpec "
+                            "or their dict form")
+        key = "study" if ("base" in spec or "axes" in spec) else "spec"
+        payload: Dict[str, Any] = {key: dict(spec), "wait": bool(wait)}
+        if tags:
+            payload["tags"] = [str(tag) for tag in tags]
+        if self.client:
+            payload["client"] = self.client
+        if timeout is not None:
+            payload["timeout"] = float(timeout)
+        status, body = self._request("POST", "/run", payload)
+        return SubmitReply.from_response(status, body)
+
+    def result(self, run_id: str) -> Dict[str, Any]:
+        """The full stored envelope of a run (raises ``KeyError`` on 404)."""
+        status, body = self._request("GET", f"/result/{run_id}")
+        if status == 404:
+            raise KeyError(body.get("error", run_id))
+        return body
+
+    def status(self) -> Dict[str, Any]:
+        status, body = self._request("GET", "/status")
+        if status != 200:
+            raise ServeUnavailable(
+                f"GET /status returned {status}: {body.get('error', body)}")
+        return body
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and exit."""
+        status, body = self._request("POST", "/shutdown", {})
+        self._drop_connection()
+        return body
+
+    def wait_ready(self, timeout: float = 10.0,
+                   interval: float = 0.05) -> Dict[str, Any]:
+        """Poll ``/status`` until the daemon answers (startup handshake)."""
+        deadline = time.time() + timeout
+        while True:
+            try:
+                return self.status()
+            except (ServeUnavailable, OSError, http.client.HTTPException):
+                if time.time() >= deadline:
+                    raise
+                time.sleep(interval)

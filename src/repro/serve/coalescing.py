@@ -1,0 +1,120 @@
+"""In-flight request coalescing: N identical concurrent requests, 1 execution.
+
+The serving tier's second cache layer.  The first is the result store
+itself (content-hashed run ids memoize *finished* work); this table
+memoizes work that is *still running*: when a request misses the store but
+an identical spec is already executing, the request joins the in-flight
+entry and blocks on the same future instead of scheduling a duplicate
+simulation.  Under a burst of popular identical requests -- the regime a
+"millions of users" front door lives in -- the executor sees one execution
+while the server answers N clients.
+
+Entries are keyed by the *spec fingerprint* (the content hash of the
+canonical spec JSON, :func:`repro.store.spec_fingerprint`), deliberately
+ignoring tags: two requests for the same experiment that differ only in
+their client tags want the same numbers, so they share one execution and
+the leader's tag set is what gets stored.
+
+The table is a plain lock-guarded dict -- the constant-time concurrent-map
+discipline (one short critical section per operation, no nested locks) of
+the concurrent-structures work the motivation cites, at Python scale.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class InFlightEntry:
+    """One spec currently executing, shared by every coalesced request.
+
+    Attributes:
+        fingerprint: Spec fingerprint the entry is keyed by.
+        run_id: Run id the leader will store the result under (so followers
+            -- including fire-and-forget ones -- know what to poll for).
+        future: Resolves to the stored run envelope (or the execution's
+            exception) for leader and followers alike.
+        created_at: When the leader registered the entry.
+        followers: How many requests coalesced onto this execution so far.
+    """
+
+    fingerprint: str
+    run_id: str
+    future: Future = field(default_factory=Future)
+    created_at: float = field(default_factory=time.time)
+    followers: int = 0
+
+
+class InFlightTable:
+    """Lock-guarded fingerprint -> :class:`InFlightEntry` table.
+
+    The join-or-lead decision is a single critical section, so of any
+    number of racing threads exactly one becomes the leader; everyone else
+    shares the leader's future.  Counters (``led``, ``coalesced``) feed the
+    server's ``/status`` endpoint and the coalescing benchmark.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[str, InFlightEntry] = {}
+        self.led = 0        # entries created (== executions scheduled)
+        self.coalesced = 0  # requests that joined an existing entry
+
+    def join_or_lead(self, fingerprint: str,
+                     run_id: str) -> Tuple[bool, InFlightEntry]:
+        """Join the in-flight execution of ``fingerprint`` or become leader.
+
+        Returns ``(leading, entry)``: when ``leading`` the caller must
+        schedule the execution and eventually :meth:`resolve` the entry
+        (``run_id`` records where the caller will store it); otherwise the
+        caller just waits on ``entry.future``.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                entry.followers += 1
+                self.coalesced += 1
+                return False, entry
+            entry = InFlightEntry(fingerprint=fingerprint, run_id=run_id)
+            self._entries[fingerprint] = entry
+            self.led += 1
+            return True, entry
+
+    def resolve(self, fingerprint: str, result=None,
+                error: Optional[BaseException] = None) -> Optional[InFlightEntry]:
+        """Remove an entry and wake everyone blocked on its future.
+
+        The removal happens *before* the future is resolved, so a new
+        request arriving afterwards starts a fresh entry -- by then the
+        result is in the store (writers persist before resolving), so it
+        reads as a cache hit rather than a re-execution.
+        """
+        with self._lock:
+            entry = self._entries.pop(fingerprint, None)
+        if entry is None:
+            return None
+        if error is not None:
+            entry.future.set_exception(error)
+        else:
+            entry.future.set_result(result)
+        return entry
+
+    def get(self, fingerprint: str) -> Optional[InFlightEntry]:
+        """The current entry for a fingerprint (None when not in flight)."""
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def entries(self) -> List[InFlightEntry]:
+        """Snapshot of the in-flight entries (oldest first)."""
+        with self._lock:
+            return sorted(self._entries.values(),
+                          key=lambda entry: entry.created_at)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,222 @@
+"""Resident executors for cache misses: in-process pool or fleet hand-off.
+
+The serve daemon never simulates inside a request handler thread directly;
+misses are scheduled onto a resident executor so the daemon controls how
+much simulation runs concurrently and can drain cleanly on shutdown.  Two
+implementations share one small contract (``submit(spec, tags) -> Future``
+resolving to the :class:`~repro.store.StoredRun` envelope, plus
+``shutdown(wait)``):
+
+* :class:`PoolExecutor` -- the default: a bounded in-process thread pool
+  running a system-sequential :class:`~repro.api.ExperimentRunner` per
+  miss and persisting straight to the daemon's store.  (Threads, not
+  processes: the simulation kernels are NumPy and the store instance --
+  with its index read cache -- is shared.)
+* :class:`FleetQueueExecutor` -- hand-off to an attached fleet queue: the
+  miss is enqueued as a :class:`~repro.fleet.QueuedCell` and executed by
+  whatever ``repro fleet``-style workers drain that queue (other
+  processes, other hosts on a shared filesystem); a single watcher thread
+  polls the queue's outcome records and resolves the futures.  The daemon
+  machine then serves cache traffic only.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.api.runner import ExperimentRunner
+from repro.api.specs import ExperimentSpec
+from repro.fleet.queue import QueuedCell, WorkQueue, cell_key
+from repro.store import ResultStore, StoredRun, run_id_for
+
+
+class PoolExecutor:
+    """Bounded in-process executor: simulate, persist, return the envelope.
+
+    Args:
+        store: Store every finished run is persisted to.
+        max_workers: Concurrent simulations (default 1: misses queue up
+            behind each other, which keeps a small host responsive for the
+            cache-hit traffic that dominates a warm server).
+    """
+
+    kind = "pool"
+
+    def __init__(self, store: ResultStore, max_workers: int = 1):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.store = store
+        self.max_workers = int(max_workers)
+        self._pool = ThreadPoolExecutor(max_workers=self.max_workers,
+                                        thread_name_prefix="repro-serve")
+        self.executed = 0  # simulations actually run (not cache traffic)
+        self._counter_lock = threading.Lock()
+
+    def submit(self, spec: ExperimentSpec,
+               tags: Sequence[str] = ()) -> "Future[StoredRun]":
+        return self._pool.submit(self._run, spec, tuple(tags))
+
+    def _run(self, spec: ExperimentSpec, tags: Tuple[str, ...]) -> StoredRun:
+        result = ExperimentRunner(parallel=False).run(spec)
+        stored = self.store.put(result, tags=tags)
+        with self._counter_lock:
+            self.executed += 1
+        return stored
+
+    def in_flight(self) -> int:
+        """Submissions queued behind the pool (approximate, for ``/status``;
+        the daemon's in-flight table is the authoritative figure)."""
+        return self._pool._work_queue.qsize()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
+class FleetQueueExecutor:
+    """Hand misses to a fleet work queue instead of simulating in-process.
+
+    The daemon populates one :class:`~repro.fleet.QueuedCell` per miss
+    (keyed, like everything else, by the content-hashed run id -- so
+    re-submitting a lost cell is idempotent) and a watcher thread polls the
+    queue's ``done``/``failed`` records, loading the stored run from the
+    shared store once a worker completed the cell.  Workers are *attached*,
+    not owned: start them separately, e.g.::
+
+        repro serve --store ./store --executor fleet &
+        # in other terminals / on other hosts sharing the filesystem:
+        python -c "from repro.fleet import FleetWorker; \\
+                   FleetWorker('./store/queue/serve', './store').run()"
+
+    Args:
+        store: Shared store the workers persist into (and we read from).
+        queue: Work queue (or its root directory) the workers drain.
+        poll_interval: Watcher sleep between outcome scans.
+    """
+
+    kind = "fleet"
+
+    def __init__(self, store: ResultStore,
+                 queue: Union[WorkQueue, str, Path],
+                 poll_interval: float = 0.2):
+        self.store = store
+        self.queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+        self.poll_interval = float(poll_interval)
+        self.executed = 0  # cells completed by the attached workers
+        self._lock = threading.Lock()
+        self._watched: Dict[str, "Future[StoredRun]"] = {}  # key -> future
+        self._watcher: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def submit(self, spec: ExperimentSpec,
+               tags: Sequence[str] = ()) -> "Future[StoredRun]":
+        tags = tuple(sorted({str(tag) for tag in tags}))
+        run_id = run_id_for(spec, tags)
+        cell_id = f"serve/{run_id}"
+        key = cell_key(cell_id)
+        future: "Future[StoredRun]" = Future()
+        with self._lock:
+            existing = self._watched.get(key)
+            if existing is not None:
+                return existing  # already queued (e.g. a retried request)
+            self._watched[key] = future
+        # Populate drops any stale outcome record for the key, so a cell
+        # that failed on a previous attempt is genuinely re-armed.
+        self.queue.populate([QueuedCell(key=key, cell_id=cell_id, spec=spec,
+                                        tags=tags)])
+        self._ensure_watcher()
+        return future
+
+    # ------------------------------------------------------------------
+    def _ensure_watcher(self) -> None:
+        with self._lock:
+            if self._watcher is not None and self._watcher.is_alive():
+                return
+            self._watcher = threading.Thread(target=self._watch_loop,
+                                             name="repro-serve-fleet-watcher",
+                                             daemon=True)
+            self._watcher.start()
+
+    def _watch_loop(self) -> None:
+        while not self._stop.is_set():
+            with self._lock:
+                watched = dict(self._watched)
+            if not watched:
+                # Park until the next submit restarts the watcher.
+                with self._lock:
+                    if not self._watched:
+                        self._watcher = None
+                        return
+                continue
+            for key, future in watched.items():
+                self._check_outcome(key, future)
+            self._stop.wait(self.poll_interval)
+        # Shutdown: fail whatever is still unresolved so waiters unblock.
+        with self._lock:
+            leftover = dict(self._watched)
+            self._watched.clear()
+        for key, future in leftover.items():
+            if not future.done():
+                future.set_exception(RuntimeError(
+                    f"serve daemon shut down before fleet workers "
+                    f"completed cell {key!r} (the cell stays queued; "
+                    f"workers may still finish it)"))
+
+    def _check_outcome(self, key: str, future: "Future[StoredRun]") -> None:
+        record = self.queue.done_records().get(key)
+        if record is not None:
+            try:
+                stored = self.store.get(str(record.get("run_id", "")))
+            except KeyError as error:
+                self._resolve(key, future, error=RuntimeError(
+                    f"fleet worker recorded cell {key!r} done but its run "
+                    f"is not in the store: {error}"))
+                return
+            with self._lock:
+                self.executed += 1
+            self._resolve(key, future, stored=stored)
+            return
+        record = self.queue.failed_records().get(key)
+        if record is not None:
+            self._resolve(key, future, error=RuntimeError(
+                f"fleet worker failed cell {key!r} "
+                f"[{record.get('kind', 'cell')}]: {record.get('error', '')}"))
+
+    def _resolve(self, key: str, future: "Future[StoredRun]",
+                 stored: Optional[StoredRun] = None,
+                 error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            self._watched.pop(key, None)
+        if future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(stored)
+
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._watched)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop watching.  With ``wait``, give in-flight cells a drain
+        window first: queued work belongs to external workers, so "drain"
+        means waiting for their outcomes, not cancelling them."""
+        if wait:
+            deadline = time.time() + max(self.poll_interval * 2, 0.5)
+            while self.in_flight() and time.time() < deadline:
+                time.sleep(min(self.poll_interval, 0.1))
+            while self.in_flight():
+                # Keep waiting as long as workers are visibly alive (a
+                # lease heartbeat younger than the queue's timeout).
+                status = self.queue.status()
+                if not status.leases:
+                    break
+                time.sleep(min(self.poll_interval, 0.2))
+        self._stop.set()
+        watcher = self._watcher
+        if watcher is not None:
+            watcher.join(timeout=5.0)

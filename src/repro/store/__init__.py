@@ -6,6 +6,8 @@ the substrate of ``repro study ls / diff / report``.
 """
 
 from repro.store.result_store import (
+    AUTO_COMPACT_BYTES,
+    AUTO_COMPACT_LINES,
     DIFF_METRICS,
     IndexEntry,
     MetricDelta,
@@ -23,6 +25,8 @@ from repro.store.result_store import (
 )
 
 __all__ = [
+    "AUTO_COMPACT_BYTES",
+    "AUTO_COMPACT_LINES",
     "DIFF_METRICS",
     "IndexEntry",
     "MetricDelta",

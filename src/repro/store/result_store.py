@@ -38,6 +38,15 @@ folds the journal back into ``index.json`` and
 files (the truth); both hold an advisory ``flock`` on ``store.lock`` so
 compaction never races an in-flight append.
 
+Two niceties keep a *long-lived* writer/reader (the :mod:`repro.serve`
+daemon) honest: :meth:`ResultStore.put` auto-compacts the journal once it
+outgrows a configurable line/byte threshold (an append-only file under a
+daemon is exactly the unbounded-growth case), and index reads are cached
+in memory against the (``index.json``, ``index.journal``) stat signatures,
+so a hot request stream does not re-read and re-merge the journal on every
+lookup -- any writer's append or compaction changes a signature and
+invalidates the cache.
+
 On top of storage the store answers cross-run questions:
 
 * :meth:`ResultStore.query` filters the index by experiment name, system,
@@ -58,6 +67,7 @@ import json
 import math
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -83,6 +93,15 @@ from repro.api.specs import ExperimentSpec
 
 #: Current on-disk envelope format; bump on incompatible layout changes.
 STORE_FORMAT = 1
+
+#: Default auto-compaction thresholds: once ``index.journal`` carries this
+#: many lines (or bytes), :meth:`ResultStore.put` folds it into
+#: ``index.json``.  Sized so interactive sweeps never trip them mid-run
+#: (studies and fleets compact explicitly at the end) while a long-lived
+#: server (:mod:`repro.serve`) -- the unbounded-growth case -- stays
+#: bounded without anyone calling :meth:`ResultStore.compact_index`.
+AUTO_COMPACT_LINES = 10_000
+AUTO_COMPACT_BYTES = 8 * 1024 * 1024
 
 #: Metrics indexed and diffed per system, in report order (each names a
 #: ``SystemResult`` attribute).  ``breakdown.*`` components are added to
@@ -443,8 +462,29 @@ class ResultStore:
     LOCK_NAME = "store.lock"
     RUNS_DIR = "runs"
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path],
+                 auto_compact_lines: Optional[int] = AUTO_COMPACT_LINES,
+                 auto_compact_bytes: Optional[int] = AUTO_COMPACT_BYTES):
+        """``auto_compact_lines`` / ``auto_compact_bytes`` bound the journal:
+        a :meth:`put` that grows it past either threshold folds it into
+        ``index.json`` (under the same advisory lock :meth:`compact_index`
+        takes).  Pass ``None`` (or 0) to disable a threshold; explicit
+        :meth:`compact_index` calls behave identically either way."""
         self.root = Path(root)
+        self.auto_compact_lines = int(auto_compact_lines or 0)
+        self.auto_compact_bytes = int(auto_compact_bytes or 0)
+        # Journal bookkeeping for the line threshold: exact for a single
+        # writer, resynced by an O(journal) recount whenever another
+        # writer's append is detected (the byte threshold needs only a
+        # stat, so it stays exact under any number of writers).
+        self._journal_size = 0
+        self._journal_lines: Optional[int] = 0
+        self._journal_mutex = threading.Lock()
+        # In-memory read cache of the merged index view, keyed by the
+        # (index.json, index.journal) stat signature -- see _load_index.
+        self._index_cache: Optional[
+            Tuple[Tuple[Any, Any], Dict[str, Dict[str, Any]]]] = None
+        self._index_cache_hits = 0  # introspection (tests, /status)
 
     # -- paths ----------------------------------------------------------
     @property
@@ -506,8 +546,16 @@ class ResultStore:
             try:
                 os.write(fd, line)
                 os.fsync(fd)
+                size = os.fstat(fd).st_size
             finally:
                 os.close(fd)
+        with self._journal_mutex:
+            if (self._journal_lines is not None
+                    and size == self._journal_size + len(line)):
+                self._journal_lines += 1  # sole writer: exact count
+            else:
+                self._journal_lines = None  # interleaved appends: recount lazily
+            self._journal_size = size
 
     def _read_journal(self) -> List[Dict[str, Any]]:
         """The journal's parseable put/delete records, in append order.
@@ -570,6 +618,55 @@ class ResultStore:
             os.truncate(self.journal_path, 0)
         except FileNotFoundError:
             pass
+        with self._journal_mutex:
+            self._journal_size = 0
+            self._journal_lines = 0
+
+    def _journal_line_count(self) -> int:
+        """The journal's current line count, resyncing the cached figure.
+
+        Cheap when this instance was the only appender since the last sync
+        (the count is maintained incrementally); otherwise one read of the
+        journal recounts it.
+        """
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            size = 0
+        with self._journal_mutex:
+            if self._journal_lines is not None and size == self._journal_size:
+                return self._journal_lines
+        try:
+            lines = self.journal_path.read_bytes().count(b"\n")
+        except OSError:
+            lines, size = 0, 0
+        with self._journal_mutex:
+            self._journal_lines = lines
+            self._journal_size = size
+        return lines
+
+    def _maybe_auto_compact(self) -> bool:
+        """Fold the journal into ``index.json`` when it outgrew a threshold.
+
+        Called by :meth:`put` after the journal append: the byte check is a
+        single ``stat``; the line check uses the incrementally maintained
+        count (see :meth:`_journal_line_count`).  Returns whether a
+        compaction ran.
+        """
+        if not self.auto_compact_lines and not self.auto_compact_bytes:
+            return False
+        try:
+            size = self.journal_path.stat().st_size
+        except OSError:
+            return False
+        if self.auto_compact_bytes and size >= self.auto_compact_bytes:
+            self.compact_index()
+            return True
+        if (self.auto_compact_lines
+                and self._journal_line_count() >= self.auto_compact_lines):
+            self.compact_index()
+            return True
+        return False
 
     # -- writing --------------------------------------------------------
     def put(self, result: ExperimentResult, tags: Sequence[str] = (),
@@ -581,6 +678,11 @@ class ResultStore:
         increment is an O(1) fsync'd journal append -- the run file first,
         the journal line second, so every journaled run is already on disk
         -- which is what makes big sweeps O(n) and concurrent writers safe.
+        When the append grows the journal past the store's auto-compaction
+        thresholds (see ``__init__``) the journal is folded into
+        ``index.json`` on the spot, so long-lived writers that never call
+        :meth:`compact_index` -- a :mod:`repro.serve` daemon most of all --
+        cannot grow it without bound.
 
         Args:
             result: The experiment result to store.
@@ -604,6 +706,8 @@ class ResultStore:
         self._append_journal({"op": "put", "entry": entry})
         if compact:
             self.compact_index()
+        else:
+            self._maybe_auto_compact()
         return run
 
     def tag(self, run_id: str, *tags: str) -> StoredRun:
@@ -678,6 +782,23 @@ class ResultStore:
         except (OSError, ValueError, KeyError):
             return {}, False
 
+    def _index_stat_key(self) -> Tuple[Any, Any]:
+        """Stat signature of the merged read view's two source files.
+
+        A change to either file -- a journal append (its size grows), a
+        compaction (journal truncates to 0, ``index.json`` is *replaced*,
+        so its inode changes even when size and mtime collide) -- changes
+        the signature, which is what invalidates the in-memory read cache.
+        """
+        def signature(path: Path) -> Optional[Tuple[int, int, int]]:
+            try:
+                stat = path.stat()
+            except OSError:
+                return None
+            return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+        return (signature(self.index_path), signature(self.journal_path))
+
     def _load_index(self, rebuild_if_missing: bool = True) -> Dict[str, Dict[str, Any]]:
         """The merged read view: ``index.json`` + journal replay.
 
@@ -692,11 +813,28 @@ class ResultStore:
         (idempotent) -- the reverse order would pair a stale index with an
         already-truncated journal and journaled runs would vanish from the
         merged view.
+
+        The merged view is cached in memory against the two files' stat
+        signatures (taken *before* the reads, so a write racing the reads
+        can only make the cache over-invalidate, never go stale): a server
+        answering a hot request stream re-reads and re-merges the journal
+        only when some writer actually changed it.  Callers must treat the
+        returned mapping as read-only.  Run files dropped into ``runs/``
+        out-of-band are not noticed by cached reads -- as ever, the repair
+        path for out-of-band surgery is :meth:`rebuild_index`.
         """
+        key = self._index_stat_key()
+        cached = self._index_cache
+        if cached is not None and cached[0] == key:
+            self._index_cache_hits += 1
+            return cached[1]
         records = self._read_journal()
         base, intact = self._read_index_file()
         merged = self._apply_journal(base, records)
-        if intact or not rebuild_if_missing:
+        if intact:
+            self._index_cache = (key, merged)
+            return merged
+        if not rebuild_if_missing:
             return merged
         # Only rebuild when run files actually exist: reads against a
         # nonexistent (e.g. mistyped) store path must stay read-only
@@ -704,10 +842,16 @@ class ResultStore:
         if not self.runs_dir.is_dir():
             return merged
         if set(self.run_ids()) <= set(merged):
+            # Journal-only view (no compacted index yet): every run file is
+            # covered, so the view is complete and safe to cache.
+            self._index_cache = (key, merged)
             return merged
         self.rebuild_index()
+        key = self._index_stat_key()
         base, _ = self._read_index_file()
-        return self._replay_journal(base)
+        merged = self._replay_journal(base)
+        self._index_cache = (key, merged)
+        return merged
 
     def rebuild_index(self) -> int:
         """Regenerate ``index.json`` from the run files; returns the count.
@@ -752,6 +896,16 @@ class ResultStore:
             self._write_index(merged)
             self._clear_journal()
         return len(merged)
+
+    def index_entry(self, run_id: str) -> Optional[IndexEntry]:
+        """The index row of one run, or ``None`` when it is not indexed.
+
+        O(1) against the in-memory read cache (one dict lookup once the
+        merged view is cached) -- the serving tier answers hot requests
+        from this instead of re-parsing the run envelope.
+        """
+        data = self._load_index().get(run_id)
+        return None if data is None else IndexEntry.from_dict(data)
 
     def entries(self) -> List[IndexEntry]:
         """All index entries, oldest first."""

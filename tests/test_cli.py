@@ -514,3 +514,74 @@ class TestOverflowFlags:
                      "--token-capacity", "1024"]) == 0
         charged = capsys.readouterr().out
         assert charged != plain
+
+
+class TestStoreCommands:
+    def _populate(self, store):
+        assert main(TestStudyCommands.RUN_ARGS + ["--store", str(store)]) == 0
+
+    def test_store_ls_lists_runs(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._populate(store)
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-cluster-sizes" in out
+        # The study filters work unchanged under the store group.
+        assert main(["store", "ls", "--store", str(store),
+                     "--cluster-size", "4"]) == 0
+        assert main(["store", "ls", "--store", str(store),
+                     "--name", "no-such-study*"]) == 0
+        assert "(empty)" in capsys.readouterr().out
+
+    def test_store_compact_then_rebuild(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._populate(store)
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "journal folded" in out
+        assert (store / "index.journal").read_text() == ""
+        assert main(["store", "rebuild", "--store", str(store)]) == 0
+        assert "2 run(s) indexed" in capsys.readouterr().out
+
+    def test_store_commands_on_missing_store_exit_2(self, tmp_path, capsys):
+        for sub in ("ls", "compact", "rebuild"):
+            assert main(["store", sub,
+                         "--store", str(tmp_path / "nope")]) == 2
+            assert "no result store" in capsys.readouterr().err
+
+
+class TestServeSubmitCommands:
+    SPEC_ARGS = ["--num-nodes", "1", "--devices-per-node", "4",
+                 "--tokens-per-device", "1024", "--iterations", "2",
+                 "--warmup", "1", "--systems", "laer", "--reference", "laer",
+                 "--name", "cli-serve-test"]
+
+    def test_submit_against_live_daemon(self, tmp_path, capsys):
+        from repro.serve import ReproServer
+
+        with ReproServer(tmp_path / "store", port=0) as server:
+            address = ["--address", server.address]
+            assert main(["submit", *address, *self.SPEC_ARGS]) == 0
+            assert "cache=miss" in capsys.readouterr().out
+            assert main(["submit", *address, *self.SPEC_ARGS,
+                         "--tag", "other"]) == 0
+            assert "cache=hit" in capsys.readouterr().out
+            assert main(["submit", *address, "--status"]) == 0
+            assert '"repro-serve"' in capsys.readouterr().out
+        assert len(list((tmp_path / "store" / "runs").glob("*.json"))) == 1
+
+    def test_submit_unreachable_daemon_exits_2(self, capsys):
+        code = main(["submit", "--address", "127.0.0.1:1",
+                     *self.SPEC_ARGS])
+        assert code == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_submit_bad_spec_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        code = main(["submit", "--address", "127.0.0.1:1",
+                     "--spec", str(bad)])
+        assert code == 2
+        assert "cannot load spec" in capsys.readouterr().err

@@ -395,3 +395,94 @@ class TestRegressions:
         assert tagged.run_id != run.run_id
         assert set(tagged.tags) == {"baseline"}
         assert len(store) == 2
+
+
+class TestAutoCompaction:
+    def test_line_threshold_folds_journal_on_put(self, tmp_path):
+        store = ResultStore(tmp_path, auto_compact_lines=3,
+                            auto_compact_bytes=None)
+        for index in range(2):
+            store.put(fake_result(f"exp-{index}"), created_at=float(index))
+        assert len(store.journal_path.read_text().splitlines()) == 2
+        assert not store.index_path.exists()
+        store.put(fake_result("exp-2"), created_at=2.0)  # crosses 3 lines
+        assert store.journal_path.read_text() == ""
+        assert len(json.loads(store.index_path.read_text())["runs"]) == 3
+        # The fold lost nothing and the next put journals again.
+        store.put(fake_result("exp-3"), created_at=3.0)
+        assert len(store.journal_path.read_text().splitlines()) == 1
+        assert len(store) == 4
+
+    def test_byte_threshold_folds_journal_on_put(self, tmp_path):
+        store = ResultStore(tmp_path, auto_compact_lines=None,
+                            auto_compact_bytes=1)  # any appended line trips it
+        store.put(fake_result("exp-0"), created_at=0.0)
+        assert store.journal_path.read_text() == ""
+        assert len(json.loads(store.index_path.read_text())["runs"]) == 1
+
+    def test_thresholds_disabled_by_default_values_of_none(self, tmp_path):
+        store = ResultStore(tmp_path, auto_compact_lines=None,
+                            auto_compact_bytes=None)
+        for index in range(5):
+            store.put(fake_result(f"exp-{index}"), created_at=float(index))
+        assert len(store.journal_path.read_text().splitlines()) == 5
+        assert not store.index_path.exists()
+
+    def test_line_count_survives_a_foreign_append(self, tmp_path):
+        """A second writer appending to the same journal invalidates the
+        incremental line counter; the recount must see both writers."""
+        ours = ResultStore(tmp_path, auto_compact_lines=3,
+                           auto_compact_bytes=None)
+        theirs = ResultStore(tmp_path)  # no auto-compaction
+        ours.put(fake_result("ours-0"), created_at=0.0)
+        theirs.put(fake_result("theirs-0"), created_at=1.0)
+        ours.put(fake_result("ours-1"), created_at=2.0)  # 3rd line overall
+        assert ours.journal_path.read_text() == ""
+        assert len(json.loads(ours.index_path.read_text())["runs"]) == 3
+
+    def test_explicit_compact_index_unchanged(self, tmp_path):
+        """The escape hatches still work with auto-compaction armed."""
+        store = ResultStore(tmp_path, auto_compact_lines=100)
+        store.put(fake_result("exp-0"), created_at=0.0)
+        assert store.compact_index() == 1
+        assert store.journal_path.read_text() == ""
+        assert store.rebuild_index() == 1
+
+
+class TestIndexReadCache:
+    def test_repeated_reads_hit_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = store.put(fake_result("exp"), created_at=1.0)
+        store.entries()  # first read populates
+        before = store._index_cache_hits
+        for _ in range(5):
+            assert [e.run_id for e in store.entries()] == [run.run_id]
+            assert store.index_entry(run.run_id).run_id == run.run_id
+        assert store._index_cache_hits >= before + 10
+
+    def test_own_put_invalidates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_result("exp-0"), created_at=0.0)
+        store.entries()
+        store.put(fake_result("exp-1"), created_at=1.0)
+        assert len(store.entries()) == 2  # not served stale from cache
+
+    def test_concurrent_writer_invalidates(self, tmp_path):
+        """A run persisted by *another* process (second store instance on
+        the same root) must show up: the cache key is the journal/index
+        stat signature, not our write counter."""
+        reader = ResultStore(tmp_path)
+        writer = ResultStore(tmp_path)
+        first = writer.put(fake_result("exp-0"), created_at=0.0)
+        assert [e.run_id for e in reader.entries()] == [first.run_id]
+        second = writer.put(fake_result("exp-1"), created_at=1.0)
+        assert {e.run_id for e in reader.entries()} == {
+            first.run_id, second.run_id}
+        # A foreign compaction (journal folded into index.json) too.
+        writer.compact_index()
+        third = writer.put(fake_result("exp-2"), created_at=2.0)
+        assert len(reader.entries()) == 3
+        assert reader.index_entry(third.run_id) is not None
+
+    def test_index_entry_missing_run_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).index_entry("nope") is None
