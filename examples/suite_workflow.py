@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The full suite lifecycle: characterize -> report -> search -> graduate.
+
+Builds the curated ``default-v1`` suite, measures each member's workload
+metrics (imbalance spectrum, hot-expert churn, burstiness, drift velocity,
+concentration) plus the suite-level coverage report, then runs a small
+adversarial search hunting the scenario that maximizes static expert
+parallelism's regret vs the oracle.  The winner graduates into a new suite
+version -- ``default-v2`` names a strictly harder benchmark than v1, and
+its content-hashed suite id pins the membership forever.
+
+Every search candidate is persisted to the result store, so re-running
+this script (same seed, same store) simulates nothing and reports
+``cached == budget``.
+
+The CLI equivalent::
+
+    repro suite make --output default-v1.json
+    repro suite characterize default-v1.json
+    repro suite search default-v1.json --store ./suite-store \\
+        --target static_ep --budget 12 --graduate default-v2.json
+
+Run with::
+
+    python examples/suite_workflow.py [budget] [store-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.store import ResultStore
+from repro.suite import (
+    adversarial_search,
+    characterize_suite,
+    default_suite,
+    format_suite_report,
+    graduate,
+)
+
+
+def main(budget: int = 12, store_dir: str = "./suite-store") -> None:
+    suite = default_suite()
+    print(f"suite {suite.suite_id}: {len(suite.members)} members")
+
+    # 1. Characterize: per-member workload metrics + coverage analysis.
+    characterization = characterize_suite(suite, num_devices=8)
+    print(format_suite_report(characterization))
+
+    # 2. Search: hunt the worst case for static expert parallelism.
+    store = ResultStore(store_dir)
+    result = adversarial_search(
+        suite, "static_ep", store, budget=budget, seed=7,
+        progress=lambda message: print(f"  {message}", file=sys.stderr))
+    print(result.summary())
+
+    # 3. Graduate: the winner becomes a member of the next suite version.
+    if result.winner is not None:
+        grown = graduate(suite, result)
+        path = grown.save("default-v2.json")
+        print(f"graduated into {grown.suite_id} "
+              f"({len(grown.members)} members) at {path}")
+
+
+if __name__ == "__main__":
+    main(budget=int(sys.argv[1]) if len(sys.argv) > 1 else 12,
+         store_dir=sys.argv[2] if len(sys.argv) > 2 else "./suite-store")

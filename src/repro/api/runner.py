@@ -277,6 +277,7 @@ class ExperimentRunner:
                 activation_checkpointing=spec.activation_checkpointing,
                 overflow_penalty=spec.overflow_penalty,
                 token_capacity=spec.token_capacity,
+                drop_policy=spec.drop_policy,
                 **system_spec.options)
             built.name = system_spec.key
             systems.append(built)

@@ -27,6 +27,7 @@ from repro.cluster.topology import (
     DEFAULT_INTRA_NODE_LATENCY,
     ClusterTopology,
 )
+from repro.sim.iteration import DROP_POLICIES
 from repro.sim.systems import registered_system
 from repro.workloads.model_configs import (
     MoEModelConfig,
@@ -305,6 +306,12 @@ class ExperimentSpec:
         token_capacity: Explicit per-device routed-token budget for the
             overflow model; ``None`` derives it from the simulated device's
             memory capacity.
+        drop_policy: How tokens beyond capacity are handled: ``"penalty"``
+            (the default linear charge), ``"truncate"`` (capacity-factor
+            truncation) or ``"recompute"`` (one full extra expert pass); see
+            :class:`repro.sim.iteration.IterationSimulator`.  The
+            non-default policies activate the overflow model even with
+            ``overflow_penalty == 0``.
     """
 
     name: str = "experiment"
@@ -315,12 +322,17 @@ class ExperimentSpec:
     activation_checkpointing: bool = False
     overflow_penalty: float = 0.0
     token_capacity: Optional[int] = None
+    drop_policy: str = "penalty"
 
     def __post_init__(self) -> None:
         if self.overflow_penalty < 0:
             raise ValueError("overflow_penalty must be non-negative")
         if self.token_capacity is not None and self.token_capacity <= 0:
             raise ValueError("token_capacity must be positive")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"unknown drop_policy {self.drop_policy!r}; "
+                f"expected one of {DROP_POLICIES}")
         systems = tuple(SystemSpec.from_dict(s) if not isinstance(s, SystemSpec)
                         else s for s in self.systems)
         if not systems:
@@ -367,6 +379,8 @@ class ExperimentSpec:
             data["overflow_penalty"] = self.overflow_penalty
         if self.token_capacity is not None:
             data["token_capacity"] = self.token_capacity
+        if self.drop_policy != "penalty":
+            data["drop_policy"] = self.drop_policy
         return data
 
     @classmethod

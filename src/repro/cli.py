@@ -33,6 +33,18 @@ Provides quick access to the most common workflows without writing Python:
       repro study gate --store ./study-store --baseline baseline  # exit 1
                                                                   # on regression
 
+* ``repro suite make|ls|characterize|report|search`` -- versioned scenario
+  suites (see :mod:`repro.suite`): emit the curated default suite, list its
+  members, characterize each member's workload (imbalance spectrum, churn,
+  burstiness, drift velocity, hot concentration) with a coverage report, or
+  run the adversarial search for scenarios maximizing a target system's
+  regret vs the oracle -- winners graduate into the next suite version::
+
+      repro suite make --output suites/default-v1.json
+      repro suite characterize suites/default-v1.json
+      repro suite search suites/default-v1.json --store ./suite-store \
+        --target static_ep --budget 16 --graduate suites/default-v2.json
+
 * ``repro fleet run|status|workers`` -- multi-process sweep execution: the
   same grid, drained by N cooperating worker processes through a file-based
   work queue (lease files with heartbeats; crashed workers' cells are
@@ -134,8 +146,24 @@ from repro.study import (
     make_study,
     study_descriptions,
 )
+from repro.sim.iteration import DROP_POLICIES
+from repro.suite import (
+    SuiteCharacterization,
+    SuiteSpec,
+    adversarial_search,
+    characterize_suite,
+    default_suite,
+    format_suite_report,
+    graduate,
+)
 from repro.workloads.model_configs import get_model_config, list_model_configs
-from repro.workloads.scenarios import available_scenarios, scenario_descriptions
+from repro.workloads.scenarios import (
+    available_scenario_wrappers,
+    available_scenarios,
+    registered_scenario,
+    registered_scenario_wrapper,
+    scenario_descriptions,
+)
 from repro.workloads.trace_io import save_trace, summarize_trace
 
 
@@ -147,7 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list the Table 2 model configurations")
     sub.add_parser("systems", help="list the registered training systems")
-    sub.add_parser("scenarios", help="list the registered routing scenarios")
+    scenarios = sub.add_parser(
+        "scenarios", help="list the registered routing scenarios")
+    scenarios.add_argument("--verbose", "-v", action="store_true",
+                           help="also print each scenario's parameters with "
+                                "types and defaults")
 
     trace = sub.add_parser("trace", help="generate a synthetic routing trace")
     _add_common_workload_args(trace)
@@ -262,6 +294,69 @@ def build_parser() -> argparse.ArgumentParser:
     study_gate.add_argument("--threshold", type=float, default=0.05,
                             help="relative change beyond which a metric "
                                  "counts as regressed (default: 0.05)")
+
+    suite = sub.add_parser(
+        "suite", help="versioned scenario suites: characterize, report, "
+                      "adversarial search")
+    susub = suite.add_subparsers(dest="suite_command", required=True)
+
+    suite_make = susub.add_parser(
+        "make", help="emit the curated default suite as JSON")
+    suite_make.add_argument("--output", type=str, default=None, metavar="PATH",
+                            help="write the suite JSON to PATH instead of "
+                                 "stdout")
+
+    suite_ls = susub.add_parser("ls", help="list a suite's members")
+    suite_ls.add_argument("suite", help="SuiteSpec JSON file")
+
+    suite_char = susub.add_parser(
+        "characterize",
+        help="stream every member and compute its workload metrics")
+    suite_char.add_argument("suite", help="SuiteSpec JSON file")
+    suite_char.add_argument("--num-nodes", type=int, default=1)
+    suite_char.add_argument("--devices-per-node", type=int, default=8)
+    suite_char.add_argument("--output", type=str, default=None, metavar="PATH",
+                            help="write the characterization JSON to PATH "
+                                 "(default: render the report to stdout)")
+
+    suite_report = susub.add_parser(
+        "report", help="render a suite characterization as markdown")
+    suite_report.add_argument("suite", help="SuiteSpec JSON file")
+    suite_report.add_argument("--characterization", type=str, default=None,
+                              metavar="PATH",
+                              help="reuse a saved characterization JSON "
+                                   "instead of recomputing")
+    suite_report.add_argument("--num-nodes", type=int, default=1)
+    suite_report.add_argument("--devices-per-node", type=int, default=8)
+    suite_report.add_argument("--output", type=str, default=None,
+                              metavar="PATH",
+                              help="write the markdown report to a file "
+                                   "instead of stdout")
+
+    suite_search = susub.add_parser(
+        "search",
+        help="adversarial search: find scenarios maximizing a system's "
+             "regret vs the oracle")
+    suite_search.add_argument("suite", help="SuiteSpec JSON file")
+    _add_store_arg(suite_search)
+    suite_search.add_argument("--target", type=str, default="static_ep",
+                              choices=available_systems(),
+                              help="system whose regret the search maximizes "
+                                   "(default: static_ep)")
+    suite_search.add_argument("--budget", type=int, default=16, metavar="N",
+                              help="total candidate evaluations, members "
+                                   "included (default: 16)")
+    suite_search.add_argument("--seed", type=int, default=0,
+                              help="search PRNG seed (same seed + suite + "
+                                   "store contents => identical winner)")
+    suite_search.add_argument("--num-nodes", type=int, default=1)
+    suite_search.add_argument("--devices-per-node", type=int, default=8)
+    suite_search.add_argument("--graduate", type=str, default=None,
+                              metavar="PATH",
+                              help="write the next suite version (winner "
+                                   "admitted as a member) to PATH")
+    suite_search.add_argument("--quiet", action="store_true",
+                              help="suppress per-candidate progress lines")
 
     fleet = sub.add_parser(
         "fleet", help="multi-process sweep execution over a shared store")
@@ -432,6 +527,15 @@ def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
                         help="explicit per-device routed-token budget for "
                              "the overflow model (default: derived from "
                              "device memory)")
+    parser.add_argument("--drop-policy", choices=DROP_POLICIES,
+                        default="penalty",
+                        help="how tokens beyond capacity are handled: "
+                             "'penalty' (linear charge scaled by "
+                             "--overflow-penalty), 'truncate' "
+                             "(capacity-factor truncation) or 'recompute' "
+                             "(one full extra expert pass); the non-default "
+                             "policies activate the overflow model even "
+                             "with --overflow-penalty 0")
 
 
 def _add_common_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -489,6 +593,7 @@ def _experiment_spec(args: argparse.Namespace, warmup: int,
         reference=reference,
         overflow_penalty=getattr(args, "overflow_penalty", 0.0),
         token_capacity=getattr(args, "token_capacity", None),
+        drop_policy=getattr(args, "drop_policy", "penalty"),
     )
 
 
@@ -520,10 +625,22 @@ def cmd_systems(_: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_scenarios(_: argparse.Namespace) -> int:
+def cmd_scenarios(args: argparse.Namespace) -> int:
     rows = [{"scenario": name, "description": description}
             for name, description in scenario_descriptions().items()]
-    print_report(format_table(rows, title="Registered routing scenarios"))
+    blocks = [format_table(rows, title="Registered routing scenarios")]
+    if getattr(args, "verbose", False):
+        for name in available_scenarios():
+            details = registered_scenario(name).param_details()
+            if details:
+                blocks.append(format_table(
+                    details, title=f"Parameters of scenario {name!r}"))
+        for name in available_scenario_wrappers():
+            details = registered_scenario_wrapper(name).param_details()
+            if details:
+                blocks.append(format_table(
+                    details, title=f"Parameters of wrapper {name!r}"))
+    print_report(*blocks)
     return 0
 
 
@@ -790,6 +907,25 @@ def cmd_study_report(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     sections: Dict[str, List[Dict[str, Any]]] = {}
+    sizes = sorted({entry.num_devices for entry in entries})
+    if len(sizes) >= 2:
+        # The paper's scaling figure: mean speedup vs reference per system,
+        # one row per cluster size covered by the report.
+        systems = sorted({system for entry in entries
+                          for system in entry.systems})
+        series_rows: List[Dict[str, Any]] = []
+        for size in sizes:
+            row: Dict[str, Any] = {"gpus": size}
+            for system in systems:
+                values = [
+                    entry.metrics[system]["speedup_vs_reference"]
+                    for entry in entries
+                    if entry.num_devices == size and system in entry.metrics
+                    and "speedup_vs_reference" in entry.metrics[system]]
+                row[system] = (round(sum(values) / len(values), 3)
+                               if values else "")
+            series_rows.append(row)
+        sections["Speedup vs cluster size"] = series_rows
     if args.baseline:
         # Scope the regression scan to the runs this report covers, so one
         # study's report cannot pick up another study's baselines.
@@ -1140,6 +1276,136 @@ def cmd_store_rebuild(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Suite commands
+# ----------------------------------------------------------------------
+def _load_suite(path: str) -> Optional[SuiteSpec]:
+    try:
+        return SuiteSpec.load(path)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load suite {path!r}: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_suite_make(args: argparse.Namespace) -> int:
+    suite = default_suite()
+    if args.output:
+        path = suite.save(args.output)
+        print(f"Suite {suite.suite_id} ({len(suite.members)} members) "
+              f"saved to {path}")
+    else:
+        print(suite.to_json())
+    return 0
+
+
+def cmd_suite_ls(args: argparse.Namespace) -> int:
+    suite = _load_suite(args.suite)
+    if suite is None:
+        return 2
+    rows = [{
+        "member": member.name,
+        "scenario": member.scenario,
+        "seed": member.seed,
+        "skew": "" if member.skew is None else member.skew,
+        "drift": "" if member.drift is None else member.drift,
+        "params": json.dumps(member.params) if member.params else "",
+        "description": member.description,
+    } for member in suite.members]
+    print_report(format_table(
+        rows, title=f"Suite {suite.suite_id} ({len(rows)} members)"))
+    return 0
+
+
+def cmd_suite_characterize(args: argparse.Namespace) -> int:
+    suite = _load_suite(args.suite)
+    if suite is None:
+        return 2
+    num_devices = args.num_nodes * args.devices_per_node
+    characterization = characterize_suite(suite, num_devices=num_devices)
+    if args.output:
+        path = characterization.save(args.output)
+        print(f"Characterization of {suite.suite_id} "
+              f"({len(characterization.profiles)} members on {num_devices} "
+              f"devices) saved to {path}")
+    else:
+        print(format_suite_report(characterization))
+    return 0
+
+
+def cmd_suite_report(args: argparse.Namespace) -> int:
+    suite = _load_suite(args.suite)
+    if suite is None:
+        return 2
+    if args.characterization:
+        try:
+            characterization = SuiteCharacterization.load(args.characterization)
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(f"error: cannot load characterization "
+                  f"{args.characterization!r}: {error}", file=sys.stderr)
+            return 2
+        if characterization.suite_id != suite.suite_id:
+            print(f"error: characterization {args.characterization!r} is for "
+                  f"suite {characterization.suite_id}, not {suite.suite_id}",
+                  file=sys.stderr)
+            return 2
+    else:
+        characterization = characterize_suite(
+            suite, num_devices=args.num_nodes * args.devices_per_node)
+    text = format_suite_report(characterization)
+    if args.output:
+        try:
+            Path(args.output).write_text(text)
+        except OSError as error:
+            print(f"error: cannot write report to {args.output!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"Report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_suite_search(args: argparse.Namespace) -> int:
+    suite = _load_suite(args.suite)
+    if suite is None:
+        return 2
+    if args.budget < 1:
+        print("error: --budget must be at least 1", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    cluster = ClusterSpec(num_nodes=args.num_nodes,
+                          devices_per_node=args.devices_per_node)
+    progress = None if args.quiet else (
+        lambda message: print(message, file=sys.stderr))
+    result = adversarial_search(suite, args.target, store,
+                                budget=args.budget, seed=args.seed,
+                                cluster=cluster, progress=progress)
+    print(result.summary())
+    if args.graduate:
+        if result.winner is None:
+            print("error: search produced no winner to graduate",
+                  file=sys.stderr)
+            return 1
+        graduated = graduate(suite, result)
+        path = graduated.save(args.graduate)
+        print(f"Graduated winner into {graduated.suite_id} "
+              f"({len(graduated.members)} members) at {path}")
+    return 0
+
+
+SUITE_COMMANDS = {
+    "make": cmd_suite_make,
+    "ls": cmd_suite_ls,
+    "characterize": cmd_suite_characterize,
+    "report": cmd_suite_report,
+    "search": cmd_suite_search,
+}
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    return SUITE_COMMANDS[args.suite_command](args)
+
+
 STORE_COMMANDS = {
     "ls": cmd_store_ls,
     "compact": cmd_store_compact,
@@ -1185,6 +1451,7 @@ COMMANDS = {
     "run": cmd_run,
     "studies": cmd_studies,
     "study": cmd_study,
+    "suite": cmd_suite,
     "fleet": cmd_fleet,
     "serve": cmd_serve,
     "submit": cmd_submit,

@@ -17,7 +17,12 @@ trace) tuple into per-iteration times and component breakdowns:
 """
 
 from repro.sim.streams import StreamOp, StreamScheduler, StreamTimeline
-from repro.sim.iteration import IterationSimulator, IterationResult, LayerResult
+from repro.sim.iteration import (
+    DROP_POLICIES,
+    IterationSimulator,
+    IterationResult,
+    LayerResult,
+)
 from repro.sim.systems import (
     SystemSpec,
     SystemBuildContext,
@@ -35,6 +40,7 @@ from repro.sim.engine import TrainingRunSimulator, RunResult, compare_systems
 from repro.sim.timeline import ForwardTimeline, build_forward_timeline, format_timeline
 
 __all__ = [
+    "DROP_POLICIES",
     "StreamOp",
     "StreamScheduler",
     "StreamTimeline",

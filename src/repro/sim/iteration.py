@@ -14,13 +14,17 @@ collective cost models and the Fig. 5 communication schedule:
   depends on the paradigm (FSEP unshard/reshard, FSDP All-Gather /
   Reduce-Scatter, or Megatron's replicated gradients);
 * re-layout overheads reported by the policy (migrations, shadow broadcasts);
-* optionally, a **capacity-overflow penalty**: when a scenario routes more
+* optionally, a **capacity-overflow model**: when a scenario routes more
   tokens onto a device than its memory can hold, the overflowing tokens are
-  dropped and recomputed (or re-dispatched), charged as extra expert compute
-  scaled by ``overflow_penalty``.  Off by default (``overflow_penalty=0``);
-  the per-device token budget defaults to the paradigm's
-  :class:`~repro.cluster.memory.MemoryModel` feasibility limit and can be
-  pinned explicitly via ``token_capacity``.
+  handled by one of three ``drop_policy`` variants -- ``"penalty"`` (the
+  linear model: extra expert compute scaled by ``overflow_penalty``),
+  ``"truncate"`` (capacity-factor truncation: overflowing tokens are dropped
+  outright, bounding the layer's expert time at capacity), or
+  ``"recompute"`` (the overflowing tokens are re-dispatched through one full
+  extra expert pass).  Off by default (``overflow_penalty=0`` with the
+  ``"penalty"`` policy); the per-device token budget defaults to the
+  paradigm's :class:`~repro.cluster.memory.MemoryModel` feasibility limit
+  and can be pinned explicitly via ``token_capacity``.
 """
 
 from __future__ import annotations
@@ -45,6 +49,9 @@ from repro.workloads.model_configs import MoEModelConfig
 #: Activation / parameter element width used throughout the simulator (bf16).
 BYTES_PER_ELEMENT = 2
 
+#: Supported capacity-overflow handling policies.
+DROP_POLICIES = ("penalty", "truncate", "recompute")
+
 
 @dataclass
 class LayerResult:
@@ -62,6 +69,7 @@ class LayerResult:
     ideal_tokens: float
     overflow_tokens: int = 0
     overflow_time: float = 0.0
+    dropped_tokens: int = 0
 
     @property
     def total_time(self) -> float:
@@ -114,14 +122,22 @@ class IterationSimulator:
         num_layers: Number of MoE transformer layers simulated per iteration;
             defaults to the model's layer count.
         overflow_penalty: Cost factor for tokens routed beyond a device's
-            memory capacity: each overflowing token is dropped and
-            recomputed (or re-dispatched), charged as ``penalty`` times its
-            expert compute time.  ``0.0`` (the default) disables the
-            overflow model entirely.
+            memory capacity under the ``"penalty"`` drop policy: each
+            overflowing token is charged as ``penalty`` times its expert
+            compute time.  ``0.0`` (the default) disables the overflow
+            model entirely under ``"penalty"``; the other policies activate
+            it regardless.
         token_capacity: Per-device routed-token budget the overflow model
             compares against.  ``None`` derives it from the device's memory
             via :meth:`MemoryModel.max_tokens_per_device` for the active
             paradigm.
+        drop_policy: How tokens beyond capacity are handled: ``"penalty"``
+            (linear extra-compute charge scaled by ``overflow_penalty``),
+            ``"truncate"`` (capacity-factor truncation -- overflowing
+            tokens are dropped, never computed, and the layer's expert time
+            is bounded at capacity), or ``"recompute"`` (overflowing tokens
+            are re-dispatched through one full extra expert pass on the
+            critical device).
     """
 
     config: MoEModelConfig
@@ -135,6 +151,7 @@ class IterationSimulator:
     num_layers: Optional[int] = None
     overflow_penalty: float = 0.0
     token_capacity: Optional[int] = None
+    drop_policy: str = "penalty"
 
     def __post_init__(self) -> None:
         if self.tokens_per_device <= 0:
@@ -147,12 +164,18 @@ class IterationSimulator:
             raise ValueError("overflow_penalty must be non-negative")
         if self.token_capacity is not None and self.token_capacity <= 0:
             raise ValueError("token_capacity must be positive")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"unknown drop_policy {self.drop_policy!r}; "
+                f"expected one of {DROP_POLICIES}")
         self.collectives = CollectiveCostModel(self.topology)
         self._tp_cost = TensorParallelCost(self.topology, self.config, self.tp_size)
         if self.num_layers is None:
             self.num_layers = self.config.num_layers
+        overflow_active = (self.overflow_penalty > 0
+                           or self.drop_policy != "penalty")
         self._device_token_capacity = (
-            self.device_token_capacity() if self.overflow_penalty > 0 else None)
+            self.device_token_capacity() if overflow_active else None)
 
     def device_token_capacity(self) -> int:
         """The per-device *routed*-token budget the overflow model enforces.
@@ -286,8 +309,36 @@ class IterationSimulator:
         """
         attention = self.attention_forward_time()
         a2a = self.token_a2a_time(decision.routing_plan)
-        expert_max = self.expert_forward_time(decision.routing_plan)
-        expert_mean = self.expert_forward_time_mean(decision.routing_plan)
+        plan = np.asarray(decision.routing_plan, dtype=np.float64)
+        tokens_per_device = plan.sum(axis=(0, 1))
+        ideal = plan.sum() / self.topology.num_devices
+        max_tokens = int(tokens_per_device.max())
+        unit_time = (self.config.expert_flops_per_token
+                     / self.topology.device_spec.effective_flops)
+        overflow_tokens = 0
+        overflow_time = 0.0
+        dropped_tokens = 0
+        computed = tokens_per_device
+        if self._device_token_capacity is not None:
+            capacity = self._device_token_capacity
+            overflow_tokens = max(0, max_tokens - capacity)
+            if self.drop_policy == "truncate":
+                # Capacity-factor truncation: overflowing tokens are dropped
+                # outright, so no device ever computes more than capacity.
+                computed = np.minimum(tokens_per_device, capacity)
+                dropped_tokens = int(
+                    np.maximum(tokens_per_device - capacity, 0.0).sum())
+            elif self.drop_policy == "recompute":
+                # Overflowing tokens are re-dispatched through one full extra
+                # expert pass on the critical device.
+                overflow_time = overflow_tokens * unit_time
+            else:
+                # Linear penalty: each overflowing token charged as
+                # ``overflow_penalty`` times its expert compute time.
+                overflow_time = (self.overflow_penalty * overflow_tokens
+                                 * unit_time)
+        expert_max = float(computed.max()) * unit_time
+        expert_mean = float(computed.mean()) * unit_time
         timings = LayerTimings(
             attention_compute=attention,
             expert_compute=expert_max,
@@ -304,21 +355,6 @@ class IterationSimulator:
         else:
             recompute = 0.0
         imbalance_wait = 3.0 * (expert_max - expert_mean)
-        plan = np.asarray(decision.routing_plan, dtype=np.float64)
-        tokens_per_device = plan.sum(axis=(0, 1))
-        ideal = plan.sum() / self.topology.num_devices
-        max_tokens = int(tokens_per_device.max())
-        overflow_tokens = 0
-        overflow_time = 0.0
-        if self._device_token_capacity is not None:
-            # Tokens beyond the device's memory budget are dropped and
-            # recomputed (or re-dispatched): charge their expert compute
-            # again, scaled by the penalty, on the critical (max) device.
-            overflow_tokens = max(0, max_tokens - self._device_token_capacity)
-            overflow_time = (
-                self.overflow_penalty * overflow_tokens
-                * self.config.expert_flops_per_token
-                / self.topology.device_spec.effective_flops)
         return LayerResult(
             layer=layer,
             forward_time=scheduled.forward_time,
@@ -332,6 +368,7 @@ class IterationSimulator:
             ideal_tokens=float(ideal),
             overflow_tokens=overflow_tokens,
             overflow_time=overflow_time,
+            dropped_tokens=dropped_tokens,
         )
 
     def simulate_iteration(self, iteration: int,

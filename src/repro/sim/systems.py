@@ -118,6 +118,10 @@ class SystemBuildContext:
             built :class:`IterationSimulator` (0 disables the model).
         token_capacity: Explicit per-device routed-token budget for the
             overflow model (None derives it from device memory).
+        drop_policy: Capacity-overflow handling policy forwarded to every
+            built simulator (``"penalty"``, ``"truncate"`` or
+            ``"recompute"``; see
+            :class:`repro.sim.iteration.IterationSimulator`).
     """
 
     name: str
@@ -127,6 +131,7 @@ class SystemBuildContext:
     activation_checkpointing: bool = False
     overflow_penalty: float = 0.0
     token_capacity: int | None = None
+    drop_policy: str = "penalty"
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -173,6 +178,7 @@ class SystemBuildContext:
             activation_checkpointing=self.activation_checkpointing,
             overflow_penalty=self.overflow_penalty,
             token_capacity=self.token_capacity,
+            drop_policy=self.drop_policy,
         )
         return SystemSpec(name=self.name, paradigm=paradigm, policy=policy,
                           simulator=simulator, tp_size=tp_size,
@@ -306,6 +312,7 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
                 activation_checkpointing: bool = False,
                 overflow_penalty: float = 0.0,
                 token_capacity: int | None = None,
+                drop_policy: str = "penalty",
                 **overrides: object) -> SystemSpec:
     """Instantiate one of the registered training systems.
 
@@ -319,6 +326,8 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
             :class:`repro.sim.iteration.IterationSimulator`).
         token_capacity: Explicit per-device routed-token budget for the
             overflow model.
+        drop_policy: Capacity-overflow handling policy (``"penalty"``,
+            ``"truncate"`` or ``"recompute"``).
         **overrides: Per-build overrides of the entry's registered parameters
             (e.g. ``make_system("laer", ..., comm_opt=False)``).
 
@@ -330,7 +339,8 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
                              tokens_per_device=tokens_per_device,
                              activation_checkpointing=activation_checkpointing,
                              overflow_penalty=overflow_penalty,
-                             token_capacity=token_capacity)
+                             token_capacity=token_capacity,
+                             drop_policy=drop_policy)
     return entry.build(ctx, **overrides)
 
 
@@ -402,3 +412,6 @@ register_system_variant(
 register_system_variant(
     "laer_no_comm_opt", "laer", comm_opt=False,
     description="LAER ablation: Fig. 5 comm scheduling disabled")
+register_system_variant(
+    "static_ep", "fsdp_ep",
+    description="alias of fsdp_ep (static expert parallelism)")

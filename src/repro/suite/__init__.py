@@ -1,0 +1,57 @@
+"""Versioned, characterized scenario suites with adversarial search.
+
+The suite subsystem turns the scenario registry's ad-hoc workloads into a
+measured benchmark suite, following the SPEC CPU characterization template:
+
+* :mod:`repro.suite.spec` -- frozen, content-hashed :class:`SuiteSpec`
+  naming member scenarios with pinned params/seeds; members graduate
+  through version bumps.
+* :mod:`repro.suite.characterize` -- streams each member through the engine
+  and computes workload metrics (imbalance spectrum, churn, burstiness,
+  drift velocity, hot-expert concentration) plus suite-level coverage.
+* :mod:`repro.suite.report` -- markdown rendering of the characterization.
+* :mod:`repro.suite.search` -- seeded, budgeted adversarial search for
+  scenarios maximizing a system's regret vs the oracle, persisted to a
+  :class:`~repro.store.ResultStore` for resumability.
+"""
+
+from repro.suite.spec import SuiteMember, SuiteSpec, default_suite
+from repro.suite.characterize import (
+    METRIC_KEYS,
+    MemberProfile,
+    SuiteCharacterization,
+    characterize_member,
+    characterize_suite,
+    coverage_report,
+)
+from repro.suite.report import format_suite_report, member_rows
+from repro.suite.search import (
+    Candidate,
+    Evaluation,
+    SearchResult,
+    adversarial_search,
+    candidate_spec,
+    graduate,
+    search_tags,
+)
+
+__all__ = [
+    "SuiteMember",
+    "SuiteSpec",
+    "default_suite",
+    "METRIC_KEYS",
+    "MemberProfile",
+    "SuiteCharacterization",
+    "characterize_member",
+    "characterize_suite",
+    "coverage_report",
+    "format_suite_report",
+    "member_rows",
+    "Candidate",
+    "Evaluation",
+    "SearchResult",
+    "adversarial_search",
+    "candidate_spec",
+    "graduate",
+    "search_tags",
+]

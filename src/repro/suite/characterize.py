@@ -1,0 +1,245 @@
+"""Workload characterization and coverage analysis for scenario suites.
+
+Following the SPEC CPU suite-characterization methodology, each suite member
+is streamed through its :class:`~repro.workloads.scenarios.TraceSource`
+(O(1) memory -- one ``(layers, N, E)`` frame at a time) and summarised by a
+small vector of workload metrics:
+
+* **imbalance spectrum** -- percentiles (p50/p90/p99) of the expert load
+  imbalance (max/mean expert load) over all (iteration, layer) pairs;
+* **churn rate** -- mean turnover of the hot-expert set between consecutive
+  iterations (fraction of the top quartile of experts replaced);
+* **burstiness** -- the Goh-Barabasi index ``(sigma - mu) / (sigma + mu)``
+  of the absolute iteration-to-iteration imbalance changes (0 for a regular
+  signal, -> 1 for a bursty one);
+* **drift velocity** -- mean total-variation distance between consecutive
+  normalized expert-load distributions;
+* **hot-expert concentration** -- mean load share captured by the top
+  ``E / 8`` experts.
+
+On top of the per-member profiles, :func:`coverage_report` measures how well
+the suite *covers* the workload space: per-metric spread, nearest-neighbor
+redundancy (members whose normalized metric vectors nearly coincide) and
+empty regions (thirds of a metric axis no member lands in).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.suite.spec import SuiteMember, SuiteSpec
+
+#: Metric keys of a member profile, in report order.
+METRIC_KEYS = (
+    "imbalance_p50",
+    "imbalance_p90",
+    "imbalance_p99",
+    "churn_rate",
+    "burstiness",
+    "drift_velocity",
+    "hot_concentration",
+)
+
+#: Members closer than this (normalized metric distance) count as redundant.
+REDUNDANCY_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class MemberProfile:
+    """Workload metrics of one suite member."""
+
+    name: str
+    scenario: str
+    imbalance_mean: float
+    imbalance_p50: float
+    imbalance_p90: float
+    imbalance_p99: float
+    churn_rate: float
+    burstiness: float
+    drift_velocity: float
+    hot_concentration: float
+
+    def metric_vector(self) -> np.ndarray:
+        """The profile's :data:`METRIC_KEYS` values as a float vector."""
+        return np.array([getattr(self, key) for key in METRIC_KEYS],
+                        dtype=np.float64)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemberProfile":
+        return cls(**data)
+
+
+def characterize_member(member: SuiteMember, suite: SuiteSpec,
+                        num_devices: int) -> MemberProfile:
+    """Stream one member and compute its workload metrics."""
+    source = suite.member_workload(member).make_source(num_devices)
+    num_experts = source.num_experts
+    hot_k = max(1, num_experts // 4)
+    conc_k = max(1, num_experts // 8)
+
+    imbalances: List[float] = []       # one per (iteration, layer)
+    iter_imbalance: List[float] = []   # worst layer per iteration
+    churns: List[float] = []
+    drifts: List[float] = []
+    concentrations: List[float] = []
+    prev_hot: Optional[np.ndarray] = None
+    prev_dist: Optional[np.ndarray] = None
+    for frame in source.iter_iterations():
+        loads = np.asarray(frame, dtype=np.float64).sum(axis=1)  # (layers, E)
+        per_layer = loads.max(axis=1) / np.maximum(loads.mean(axis=1), 1e-12)
+        imbalances.extend(per_layer.tolist())
+        iter_imbalance.append(float(per_layer.max()))
+        total = loads.sum(axis=0)                                # (E,)
+        order = np.argsort(total)[::-1]
+        hot = order[:hot_k]
+        dist = total / max(total.sum(), 1e-12)
+        concentrations.append(float(np.sort(dist)[::-1][:conc_k].sum()))
+        if prev_hot is not None:
+            replaced = hot_k - len(np.intersect1d(hot, prev_hot))
+            churns.append(replaced / hot_k)
+            drifts.append(0.5 * float(np.abs(dist - prev_dist).sum()))
+        prev_hot, prev_dist = hot, dist
+
+    spectrum = np.asarray(imbalances)
+    deltas = np.abs(np.diff(np.asarray(iter_imbalance)))
+    if deltas.size and (deltas.std() + deltas.mean()) > 1e-12:
+        burstiness = float((deltas.std() - deltas.mean())
+                           / (deltas.std() + deltas.mean()))
+    else:
+        burstiness = 0.0
+    return MemberProfile(
+        name=member.name,
+        scenario=member.scenario,
+        imbalance_mean=float(spectrum.mean()),
+        imbalance_p50=float(np.percentile(spectrum, 50)),
+        imbalance_p90=float(np.percentile(spectrum, 90)),
+        imbalance_p99=float(np.percentile(spectrum, 99)),
+        churn_rate=float(np.mean(churns)) if churns else 0.0,
+        burstiness=burstiness,
+        drift_velocity=float(np.mean(drifts)) if drifts else 0.0,
+        hot_concentration=float(np.mean(concentrations)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Coverage / representativeness
+# ----------------------------------------------------------------------
+def _normalized_vectors(profiles: List[MemberProfile]) -> np.ndarray:
+    """Member metric vectors min-max normalized per dimension to [0, 1]."""
+    matrix = np.stack([p.metric_vector() for p in profiles])
+    low = matrix.min(axis=0)
+    span = np.maximum(matrix.max(axis=0) - low, 1e-12)
+    return (matrix - low) / span
+
+
+def coverage_report(profiles: List[MemberProfile]) -> Dict[str, Any]:
+    """Suite-level coverage of the workload-metric space.
+
+    Returns a JSON-safe mapping with three sections:
+
+    * ``spread`` -- per-metric min/max/range across members;
+    * ``nearest_neighbors`` -- each member's nearest neighbour in normalized
+      metric space, flagging redundant (near-coincident) pairs;
+    * ``empty_regions`` -- per-metric thirds (low/mid/high of the observed
+      range) containing no member.
+    """
+    spread = []
+    matrix = np.stack([p.metric_vector() for p in profiles])
+    for idx, key in enumerate(METRIC_KEYS):
+        column = matrix[:, idx]
+        spread.append({"metric": key, "min": float(column.min()),
+                       "max": float(column.max()),
+                       "range": float(column.max() - column.min())})
+
+    neighbors = []
+    if len(profiles) >= 2:
+        normalized = _normalized_vectors(profiles)
+        # Pairwise normalized-Euclidean distances, scaled to [0, 1].
+        diff = normalized[:, None, :] - normalized[None, :, :]
+        distances = np.sqrt((diff ** 2).sum(axis=2)) / np.sqrt(len(METRIC_KEYS))
+        np.fill_diagonal(distances, np.inf)
+        for idx, profile in enumerate(profiles):
+            nearest = int(distances[idx].argmin())
+            distance = float(distances[idx, nearest])
+            neighbors.append({
+                "member": profile.name,
+                "nearest": profiles[nearest].name,
+                "distance": distance,
+                "redundant": distance < REDUNDANCY_THRESHOLD,
+            })
+
+    empty = []
+    for idx, key in enumerate(METRIC_KEYS):
+        column = matrix[:, idx]
+        low, high = float(column.min()), float(column.max())
+        span = high - low
+        if span <= 1e-12:
+            continue
+        thirds = np.clip(((column - low) / span * 3).astype(int), 0, 2)
+        for region, label in enumerate(("low", "mid", "high")):
+            if not np.any(thirds == region):
+                empty.append({"metric": key, "region": label})
+
+    return {"spread": spread, "nearest_neighbors": neighbors,
+            "empty_regions": empty}
+
+
+@dataclass(frozen=True)
+class SuiteCharacterization:
+    """Per-member profiles plus the suite-level coverage analysis."""
+
+    suite_id: str
+    suite_name: str
+    version: int
+    num_devices: int
+    profiles: Tuple[MemberProfile, ...] = ()
+    coverage: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "suite_id": self.suite_id,
+            "suite_name": self.suite_name,
+            "version": self.version,
+            "num_devices": self.num_devices,
+            "profiles": [p.to_dict() for p in self.profiles],
+            "coverage": dict(self.coverage),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SuiteCharacterization":
+        kwargs = dict(data)
+        kwargs["profiles"] = tuple(MemberProfile.from_dict(p)
+                                   for p in kwargs.get("profiles", ()))
+        return cls(**kwargs)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SuiteCharacterization":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def characterize_suite(suite: SuiteSpec,
+                       num_devices: int = 8) -> SuiteCharacterization:
+    """Characterize every member and compute the coverage analysis."""
+    profiles = [characterize_member(member, suite, num_devices)
+                for member in suite.members]
+    return SuiteCharacterization(
+        suite_id=suite.suite_id,
+        suite_name=suite.name,
+        version=suite.version,
+        num_devices=num_devices,
+        profiles=tuple(profiles),
+        coverage=coverage_report(profiles),
+    )

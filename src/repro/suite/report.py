@@ -1,0 +1,63 @@
+"""Markdown rendering of suite characterizations.
+
+Renders a :class:`~repro.suite.characterize.SuiteCharacterization` as a
+markdown report in the same style as ``repro study report``: a per-member
+workload-metrics table followed by the coverage/representativeness sections
+(metric spread, nearest-neighbor redundancy, empty regions), built on the
+:mod:`repro.analysis.reporting` primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.reporting import format_markdown_table
+from repro.suite.characterize import METRIC_KEYS, SuiteCharacterization
+
+MEMBER_COLUMNS = ("member", "scenario") + METRIC_KEYS
+
+
+def member_rows(characterization: SuiteCharacterization) -> List[Dict[str, Any]]:
+    """One row per member with its :data:`METRIC_KEYS` metrics."""
+    rows = []
+    for profile in characterization.profiles:
+        row: Dict[str, Any] = {"member": profile.name,
+                               "scenario": profile.scenario}
+        for key in METRIC_KEYS:
+            row[key] = round(getattr(profile, key), 4)
+        rows.append(row)
+    return rows
+
+
+def format_suite_report(characterization: SuiteCharacterization) -> str:
+    """Render the full suite report (members + coverage) as markdown."""
+    ch = characterization
+    parts: List[str] = [
+        f"# Suite report: {ch.suite_name} v{ch.version}",
+        "",
+        f"Suite id `{ch.suite_id}`, characterized on {ch.num_devices} "
+        f"devices, {len(ch.profiles)} members.",
+        "",
+        "## Member workload metrics",
+        "",
+        format_markdown_table(member_rows(ch), columns=MEMBER_COLUMNS),
+        "",
+    ]
+    coverage = ch.coverage or {}
+    spread = [{"metric": s["metric"], "min": round(s["min"], 4),
+               "max": round(s["max"], 4), "range": round(s["range"], 4)}
+              for s in coverage.get("spread", [])]
+    parts += ["## Coverage: metric spread", "",
+              format_markdown_table(spread), ""]
+    neighbors = [{"member": n["member"], "nearest": n["nearest"],
+                  "distance": round(n["distance"], 4),
+                  "redundant": "yes" if n["redundant"] else ""}
+                 for n in coverage.get("nearest_neighbors", [])]
+    parts += ["## Coverage: nearest neighbors", "",
+              format_markdown_table(neighbors), ""]
+    empty = list(coverage.get("empty_regions", []))
+    parts += ["## Coverage: empty regions", "",
+              format_markdown_table(empty) if empty
+              else "*(no empty regions -- every metric third is populated)*",
+              ""]
+    return "\n".join(parts).rstrip() + "\n"

@@ -701,6 +701,38 @@ def check_factory_params(label: str, factory: Callable[..., object],
             f"accepted: {sorted(accepted)}")
 
 
+def factory_param_details(factory: Callable[..., object], skip: int,
+                          bound_params: Mapping[str, object]) -> List[Dict[str, str]]:
+    """Per-parameter ``{"param", "type", "default"}`` rows for a factory.
+
+    ``bound_params`` (the registry entry's defaults) win over the signature's
+    own defaults; parameters with neither are shown as ``(required)``.  The
+    module uses ``from __future__ import annotations``, so annotations are
+    already strings; un-annotated parameters fall back to the default
+    value's type name.
+    """
+    rows: List[Dict[str, str]] = []
+    params = list(inspect.signature(factory).parameters.values())[skip:]
+    for p in params:
+        if p.kind not in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                          inspect.Parameter.KEYWORD_ONLY):
+            continue
+        if p.name in bound_params:
+            default = repr(bound_params[p.name])
+        elif p.default is not inspect.Parameter.empty:
+            default = repr(p.default)
+        else:
+            default = "(required)"
+        if p.annotation is not inspect.Parameter.empty:
+            annotation = str(p.annotation)
+        elif p.default is not inspect.Parameter.empty:
+            annotation = type(p.default).__name__
+        else:
+            annotation = ""
+        rows.append({"param": p.name, "type": annotation, "default": default})
+    return rows
+
+
 @dataclass(frozen=True)
 class RegisteredScenario:
     """One registry entry: a factory plus its bound default parameters."""
@@ -722,6 +754,11 @@ class RegisteredScenario:
     def required_params(self) -> FrozenSet[str]:
         """Factory parameters without defaults (must be supplied to build)."""
         return required_factory_params(self.factory, skip=1)
+
+    def param_details(self) -> List[Dict[str, str]]:
+        """Per-parameter name/type/default rows (``repro scenarios -v``)."""
+        return factory_param_details(self.factory, skip=1,
+                                     bound_params=self.params)
 
     def build(self, ctx: ScenarioContext, **overrides: object) -> TraceSource:
         """Invoke the factory with the bound parameters (plus overrides)."""
@@ -918,6 +955,11 @@ class RegisteredScenarioWrapper:
     def check_params(self, params: Mapping[str, object]) -> None:
         check_factory_params(f"scenario wrapper {self.name!r}", self.factory,
                              2, params)
+
+    def param_details(self) -> List[Dict[str, str]]:
+        """Per-parameter name/type/default rows (``repro scenarios -v``)."""
+        return factory_param_details(self.factory, skip=2,
+                                     bound_params=self.params)
 
     def build(self, inner: TraceSource, ctx: ScenarioContext,
               **overrides: object) -> TraceSource:

@@ -189,7 +189,7 @@ class TestRegistry:
         assert available_systems() == [
             "megatron", "fsdp_ep", "fastermoe", "smartmoe", "prophet",
             "flexmoe", "laer", "oracle", "laer_pq_only", "laer_even_only",
-            "laer_no_comm_opt",
+            "laer_no_comm_opt", "static_ep",
         ]
 
     def test_duplicate_registration_rejected(self):

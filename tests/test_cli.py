@@ -79,6 +79,18 @@ class TestCommands:
                      "phase-shift", "straggler", "multi-tenant-mix"):
             assert name in out
 
+    def test_scenarios_verbose_lists_params(self, capsys):
+        assert main(["scenarios", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "Parameters of scenario 'bursty-churn'" in out
+        assert "Parameters of wrapper 'straggler'" in out
+        assert "period" in out and "default" in out
+        # trace-replay's path has no default -- flagged as required.
+        assert "(required)" in out
+        # The terse listing stays terse.
+        assert main(["scenarios"]) == 0
+        assert "Parameters of" not in capsys.readouterr().out
+
     def test_compare_with_scenario_and_params(self, capsys):
         code = main(["compare", "--num-nodes", "1", "--devices-per-node", "4",
                      "--tokens-per-device", "2048", "--iterations", "3",
@@ -294,6 +306,18 @@ class TestStudyCommands:
         text = report_path.read_text()
         assert text.startswith("# Study report: sweep-cluster-sizes")
         assert "| run_id |" in text
+
+    def test_report_includes_cluster_size_series(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert self.run_small_study(store) == 0  # sizes [1, 2] -> 4 and 8 GPUs
+        capsys.readouterr()
+        assert main(["study", "report", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "## Speedup vs cluster size" in out
+        assert "| gpus |" in out
+        series = [line for line in out.splitlines()
+                  if line.startswith("| 4 ") or line.startswith("| 8 ")]
+        assert len(series) == 2
 
     def test_diff_unknown_run_is_a_cli_error(self, tmp_path, capsys):
         code = main(["study", "diff", "--store", str(tmp_path),
@@ -515,6 +539,33 @@ class TestOverflowFlags:
         charged = capsys.readouterr().out
         assert charged != plain
 
+    def test_drop_policy_reaches_the_spec(self, capsys):
+        code = main(["run", *self.ARGS, "--drop-policy", "truncate",
+                     "--token-capacity", "1024", "--dump-spec", "-"])
+        assert code == 0
+        spec = ExperimentSpec.from_json(capsys.readouterr().out)
+        assert spec.drop_policy == "truncate"
+
+    def test_default_drop_policy_stays_out_of_the_spec(self, capsys):
+        # The default policy is omitted from the canonical JSON so that the
+        # content-hashed run ids of pre-existing specs are unchanged.
+        code = main(["run", *self.ARGS, "--dump-spec", "-"])
+        assert code == 0
+        assert '"drop_policy"' not in capsys.readouterr().out
+
+    def test_unknown_drop_policy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--drop-policy", "discard"])
+
+    def test_drop_policy_changes_the_report(self, capsys):
+        capped = ["--overflow-penalty", "1.0", "--token-capacity", "1024"]
+        assert main(["compare", *self.ARGS, *capped]) == 0
+        penalty = capsys.readouterr().out
+        assert main(["compare", *self.ARGS, *capped,
+                     "--drop-policy", "truncate"]) == 0
+        truncated = capsys.readouterr().out
+        assert truncated != penalty
+
 
 class TestStoreCommands:
     def _populate(self, store):
@@ -585,3 +636,107 @@ class TestServeSubmitCommands:
                      "--spec", str(bad)])
         assert code == 2
         assert "cannot load spec" in capsys.readouterr().err
+
+
+class TestSuiteCommands:
+    def write_tiny_suite(self, tmp_path):
+        from repro.suite import SuiteMember, SuiteSpec
+
+        suite = SuiteSpec(
+            name="tiny", tokens_per_device=512, iterations=4, warmup=1,
+            members=(
+                SuiteMember(name="skewed", scenario="steady", seed=3,
+                            skew=0.15),
+                SuiteMember(name="drifty", scenario="drifting", seed=4),
+            ))
+        return suite, suite.save(tmp_path / "tiny.json")
+
+    def test_make_writes_the_default_suite(self, tmp_path, capsys):
+        from repro.suite import SuiteSpec, default_suite
+
+        out_path = tmp_path / "default.json"
+        assert main(["suite", "make", "--output", str(out_path)]) == 0
+        assert default_suite().suite_id in capsys.readouterr().out
+        assert SuiteSpec.load(out_path) == default_suite()
+        # Without --output the JSON goes to stdout.
+        assert main(["suite", "make"]) == 0
+        assert '"members"' in capsys.readouterr().out
+
+    def test_ls_lists_members(self, tmp_path, capsys):
+        suite, path = self.write_tiny_suite(tmp_path)
+        assert main(["suite", "ls", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert suite.suite_id in out
+        assert "skewed" in out and "drifty" in out
+
+    def test_ls_missing_suite_is_a_cli_error(self, tmp_path, capsys):
+        code = main(["suite", "ls", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "cannot load suite" in capsys.readouterr().err
+
+    def test_characterize_renders_coverage(self, tmp_path, capsys):
+        _, path = self.write_tiny_suite(tmp_path)
+        assert main(["suite", "characterize", str(path),
+                     "--devices-per-node", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "## Member workload metrics" in out
+        assert "## Coverage: metric spread" in out
+        assert "imbalance_p50" in out
+
+    def test_report_from_saved_characterization(self, tmp_path, capsys):
+        _, path = self.write_tiny_suite(tmp_path)
+        ch_path = tmp_path / "ch.json"
+        assert main(["suite", "characterize", str(path),
+                     "--devices-per-node", "4",
+                     "--output", str(ch_path)]) == 0
+        report_path = tmp_path / "report.md"
+        assert main(["suite", "report", str(path),
+                     "--characterization", str(ch_path),
+                     "--output", str(report_path)]) == 0
+        text = report_path.read_text()
+        assert text.startswith("# Suite report: tiny v1")
+        assert "## Coverage: nearest neighbors" in text
+
+    def test_report_rejects_mismatched_characterization(self, tmp_path,
+                                                        capsys):
+        _, path = self.write_tiny_suite(tmp_path)
+        ch_path = tmp_path / "ch.json"
+        assert main(["suite", "characterize", str(path),
+                     "--devices-per-node", "4",
+                     "--output", str(ch_path)]) == 0
+        assert main(["suite", "make", "--output",
+                     str(tmp_path / "default.json")]) == 0
+        capsys.readouterr()
+        code = main(["suite", "report", str(tmp_path / "default.json"),
+                     "--characterization", str(ch_path)])
+        assert code == 2
+        assert "is for suite" in capsys.readouterr().err
+
+    def test_search_runs_resumes_and_graduates(self, tmp_path, capsys):
+        _, path = self.write_tiny_suite(tmp_path)
+        store = tmp_path / "store"
+        args = ["suite", "search", str(path), "--store", str(store),
+                "--target", "static_ep", "--budget", "3", "--seed", "1",
+                "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "simulated 3, cached 0" in out
+        assert "winner regret" in out
+        # Same store, same seed: the rerun replays from the store.
+        next_path = tmp_path / "tiny-v2.json"
+        assert main(args + ["--graduate", str(next_path)]) == 0
+        out = capsys.readouterr().out
+        assert "simulated 0, cached 3" in out
+        assert "Graduated winner into tiny-v2-" in out
+        from repro.suite import SuiteSpec
+
+        graduated = SuiteSpec.load(next_path)
+        assert graduated.version == 2
+        assert len(graduated.members) == 3
+
+    def test_search_rejects_bad_budget(self, tmp_path, capsys):
+        _, path = self.write_tiny_suite(tmp_path)
+        code = main(["suite", "search", str(path),
+                     "--store", str(tmp_path / "store"), "--budget", "0"])
+        assert code == 2
+        assert "--budget" in capsys.readouterr().err

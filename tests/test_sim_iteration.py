@@ -225,3 +225,84 @@ class TestCapacityOverflow:
             make_simulator(small_topology, overflow_penalty=-1.0)
         with pytest.raises(ValueError, match="token_capacity"):
             make_simulator(small_topology, token_capacity=0)
+
+
+class TestDropPolicies:
+    """Paper-faithful alternatives to the linear overflow penalty."""
+
+    def decisions(self, topology, seed=1):
+        policy = StaticEPPolicy(topology, 8, 2, EXPERT_BYTES)
+        return policy.decide_iteration(skewed_routing(topology, seed=seed))
+
+    def overflowing_capacity(self, topology, decisions):
+        base = make_simulator(topology).simulate_iteration(0, decisions)
+        return max(layer.max_tokens for layer in base.layers) // 2
+
+    def test_truncate_drops_tokens_instead_of_charging(self, small_topology):
+        decisions = self.decisions(small_topology)
+        base = make_simulator(small_topology).simulate_iteration(0, decisions)
+        capacity = self.overflowing_capacity(small_topology, decisions)
+        sim = make_simulator(small_topology, drop_policy="truncate",
+                             token_capacity=capacity)
+        result = sim.simulate_iteration(0, decisions)
+        # Clamping the hottest device's compute makes the step *faster*:
+        # truncation trades quality (dropped tokens) for time.
+        assert result.total_time < base.total_time
+        assert result.breakdown["overflow"] == 0.0
+        assert any(layer.dropped_tokens > 0 for layer in result.layers)
+        assert all(layer.overflow_time == 0.0 for layer in result.layers)
+
+    def test_truncate_activates_capacity_without_penalty(self, small_topology):
+        decisions = self.decisions(small_topology)
+        capacity = self.overflowing_capacity(small_topology, decisions)
+        # No overflow_penalty set: the non-default policy alone turns the
+        # capacity model on.
+        sim = make_simulator(small_topology, drop_policy="truncate",
+                             token_capacity=capacity)
+        result = sim.simulate_iteration(0, decisions)
+        assert "overflow" in result.breakdown
+        assert any(layer.overflow_tokens > 0 for layer in result.layers)
+
+    def test_truncate_is_noop_below_capacity(self, small_topology):
+        decisions = self.decisions(small_topology)
+        base = make_simulator(small_topology).simulate_iteration(0, decisions)
+        sim = make_simulator(small_topology, drop_policy="truncate",
+                             token_capacity=10 ** 9)
+        result = sim.simulate_iteration(0, decisions)
+        assert result.total_time == pytest.approx(base.total_time)
+        assert all(layer.dropped_tokens == 0 for layer in result.layers)
+
+    def test_recompute_charges_overflow_at_unit_cost(self, small_topology):
+        decisions = self.decisions(small_topology)
+        base = make_simulator(small_topology).simulate_iteration(0, decisions)
+        capacity = self.overflowing_capacity(small_topology, decisions)
+        sim = make_simulator(small_topology, drop_policy="recompute",
+                             token_capacity=capacity)
+        result = sim.simulate_iteration(0, decisions)
+        assert result.total_time > base.total_time
+        assert result.breakdown["overflow"] > 0.0
+        assert all(layer.dropped_tokens == 0 for layer in result.layers)
+        # Recompute equals the linear penalty at factor 1.0 ...
+        unit = make_simulator(small_topology, overflow_penalty=1.0,
+                              token_capacity=capacity)
+        assert result.total_time == pytest.approx(
+            unit.simulate_iteration(0, decisions).total_time)
+        # ... and ignores the penalty factor entirely.
+        scaled = make_simulator(small_topology, drop_policy="recompute",
+                                overflow_penalty=3.0, token_capacity=capacity)
+        assert scaled.simulate_iteration(0, decisions).total_time \
+            == pytest.approx(result.total_time)
+
+    def test_policies_rank_consistently(self, small_topology):
+        decisions = self.decisions(small_topology)
+        capacity = self.overflowing_capacity(small_topology, decisions)
+        times = {}
+        for policy in ("truncate", "recompute"):
+            sim = make_simulator(small_topology, drop_policy=policy,
+                                 token_capacity=capacity)
+            times[policy] = sim.simulate_iteration(0, decisions).total_time
+        assert times["truncate"] < times["recompute"]
+
+    def test_validation(self, small_topology):
+        with pytest.raises(ValueError, match="drop_policy"):
+            make_simulator(small_topology, drop_policy="discard")
