@@ -1,0 +1,170 @@
+"""Chaos-subsystem perf harness: injection overhead and plan wall time.
+
+The fault-injection hooks in :func:`repro.chaos.inject` sit on the store,
+queue, and worker hot paths permanently -- production runs pay for them on
+every journal append and lease claim whether or not a plan is armed.  This
+harness prices that tax and the chaos plans themselves:
+
+* **inject (disarmed)** -- ns/call of the module-level hook with no
+  injector installed, the cost every non-chaos run pays;
+* **inject (armed, miss)** -- ns/call with a plan installed whose faults
+  target a *different* point, the cost of running under an armed injector;
+* **retry (success)** -- overhead of routing a call through
+  :meth:`repro.chaos.RetryPolicy.call` when the first attempt succeeds;
+* **worker-crash plan** -- wall time of the full ``worker-crash`` chaos
+  plan (fleet + SIGKILL + invariant sweep), plus the kill and invariant
+  outcome it graded.
+
+Records to ``BENCH_chaos.json`` at the repository root and asserts two
+floors: the disarmed hook under ``DISARMED_NS_CEILING`` ns/call, and the
+worker-crash plan passing its own invariants with at least
+``repro.chaos.plans.MIN_KILLED_POINTS`` distinct kill points.
+
+Usage::
+
+    python benchmarks/bench_chaos.py             # full record
+    python benchmarks/bench_chaos.py --quick     # CI smoke
+
+Exits non-zero when a floor is missed (``--no-check`` to disable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chaos import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    inject,
+    install,
+    run_chaos,
+    uninstall,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+#: Quick (CI smoke) runs land next to, not on top of, the checked-in record.
+QUICK_RESULT_PATH = RESULT_PATH.with_name("BENCH_chaos_quick.json")
+
+#: The disarmed hook is one global load and a truthiness test; anything
+#: over a microsecond would mean the instrumentation taxes real runs.
+DISARMED_NS_CEILING = 1_000.0
+
+
+def measure_inject_disarmed(calls: int) -> float:
+    """ns/call of the hook with no injector installed (production cost)."""
+    uninstall()
+    start = time.perf_counter()
+    for _ in range(calls):
+        inject("store.pre-run-file")
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e9 / calls
+
+
+def measure_inject_armed_miss(calls: int) -> float:
+    """ns/call with an armed injector whose faults target another point."""
+    plan = FaultPlan(name="bench", seed=0, faults=(
+        FaultSpec(point="serve.client-request", kind="drop", at=10 ** 9),))
+    install(FaultInjector(plan))
+    try:
+        start = time.perf_counter()
+        for _ in range(calls):
+            inject("store.pre-run-file")
+        elapsed = time.perf_counter() - start
+    finally:
+        uninstall()
+    return elapsed * 1e9 / calls
+
+
+def measure_retry_success(calls: int) -> float:
+    """ns/call overhead of RetryPolicy.call around an instant success."""
+    policy = RetryPolicy(retries=3, base_delay_s=0.01, seed=0)
+    start = time.perf_counter()
+    for _ in range(calls):
+        policy.call(lambda: None)
+    elapsed = time.perf_counter() - start
+    return elapsed * 1e9 / calls
+
+
+def measure_worker_crash(quick: bool) -> dict:
+    """Wall time and grading of the full worker-crash chaos plan."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-chaos-"))
+    try:
+        report = run_chaos("worker-crash", workdir / "store", seed=0,
+                           quick=quick)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    killed = sorted({round_["point"] for round_ in report.rounds
+                     if round_.get("kills")})
+    return {
+        "wall_s": round(report.elapsed_s, 3),
+        "rounds": len(report.rounds),
+        "killed_points": len(killed),
+        "invariants_ok": report.invariants.ok,
+        "ok": report.ok,
+        "checks": len(report.invariants.checks),
+        "digest": report.digest,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller counts for the CI smoke step")
+    parser.add_argument("--no-check", action="store_true",
+                        help="record numbers without asserting the floors")
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    output = args.output or (QUICK_RESULT_PATH if args.quick else RESULT_PATH)
+    hook_calls = 200_000 if args.quick else 1_000_000
+    retry_calls = 20_000 if args.quick else 100_000
+
+    disarmed_ns = measure_inject_disarmed(hook_calls)
+    armed_ns = measure_inject_armed_miss(hook_calls)
+    retry_ns = measure_retry_success(retry_calls)
+    crash = measure_worker_crash(args.quick)
+
+    record = {
+        "host": {"platform": platform.platform(),
+                 "python": platform.python_version()},
+        "config": {"hook_calls": hook_calls, "retry_calls": retry_calls,
+                   "quick": args.quick},
+        "inject_disarmed_ns": round(disarmed_ns, 1),
+        "inject_armed_miss_ns": round(armed_ns, 1),
+        "retry_success_ns": round(retry_ns, 1),
+        "worker_crash": crash,
+        "ceiling_ns": DISARMED_NS_CEILING,
+    }
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"inject disarmed {disarmed_ns:.0f} ns, armed-miss {armed_ns:.0f} "
+          f"ns, retry {retry_ns:.0f} ns; worker-crash "
+          f"{crash['killed_points']} kill point(s) in {crash['wall_s']:.1f}s "
+          f"(invariants {'ok' if crash['invariants_ok'] else 'VIOLATED'}) "
+          f"-> {output}")
+
+    failed = False
+    if not args.no_check:
+        if disarmed_ns > DISARMED_NS_CEILING:
+            print(f"FAIL: disarmed inject() costs {disarmed_ns:.0f} ns/call, "
+                  f"over the {DISARMED_NS_CEILING:.0f} ns ceiling",
+                  file=sys.stderr)
+            failed = True
+        if not crash["ok"]:
+            print("FAIL: worker-crash plan did not pass its invariants",
+                  file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Deterministic chaos engineering for the store/fleet/serve stack.
+
+Fault injection (:mod:`repro.chaos.injection`), retry/backoff primitives
+(:mod:`repro.chaos.retry`), store/queue invariant checkers
+(:mod:`repro.chaos.verify`), and executable fault plans
+(:mod:`repro.chaos.plans`).
+
+``injection`` and ``retry`` are stdlib-only and imported eagerly — the
+store and queue hook into them at module load.  ``verify`` and ``plans``
+import back into ``repro.store``/``repro.fleet``/``repro.serve``, so they
+are loaded lazily (PEP 562) to avoid import cycles.
+"""
+
+from repro.chaos.injection import (
+    CHAOS_INCARNATION_ENV,
+    CHAOS_PLAN_ENV,
+    FAULT_KINDS,
+    FAULT_POINTS,
+    WORKER_CRASH_POINTS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    active,
+    inject,
+    install,
+    maybe_install_from_env,
+    uninstall,
+)
+from repro.chaos.retry import CircuitBreaker, CircuitOpen, RetryError, RetryPolicy
+
+_LAZY = {
+    "InvariantReport": "repro.chaos.verify",
+    "InvariantViolation": "repro.chaos.verify",
+    "store_digest": "repro.chaos.verify",
+    "verify_store": "repro.chaos.verify",
+    "verify_queue": "repro.chaos.verify",
+    "ChaosReport": "repro.chaos.plans",
+    "MIN_KILLED_POINTS": "repro.chaos.plans",
+    "PLAN_DESCRIPTIONS": "repro.chaos.plans",
+    "PLAN_NAMES": "repro.chaos.plans",
+    "build_plan": "repro.chaos.plans",
+    "run_chaos": "repro.chaos.plans",
+}
+
+__all__ = [
+    "CHAOS_INCARNATION_ENV",
+    "CHAOS_PLAN_ENV",
+    "FAULT_KINDS",
+    "FAULT_POINTS",
+    "WORKER_CRASH_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "inject",
+    "install",
+    "maybe_install_from_env",
+    "uninstall",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "RetryError",
+    "RetryPolicy",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,173 @@
+"""Shared retry/backoff and circuit-breaker primitives.
+
+``RetryPolicy`` replaces ad-hoc retry loops (the serve client's old
+retry-once, the fleet-queue watcher's bare ``store.get``) with one policy:
+bounded attempts, exponential backoff with decorrelated jitter, and an
+optional wall-clock deadline.  ``CircuitBreaker`` is the serve tier's
+degradation switch: after enough consecutive failures it opens (callers
+skip the failing dependency entirely) and half-opens after a cooldown to
+probe for recovery.
+
+Stdlib-only; importable from anywhere in the stack.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "RetryError", "CircuitBreaker", "CircuitOpen"]
+
+
+class RetryError(RuntimeError):
+    """Raised when attempts or the deadline are exhausted.
+
+    The last underlying exception is chained as ``__cause__``.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and decorrelated jitter.
+
+    ``retries`` counts *re*-tries: ``retries=3`` means up to 4 attempts.
+    ``deadline_s`` bounds total wall-clock across attempts and sleeps; the
+    policy never starts a sleep that a remaining deadline cannot cover.
+    ``jitter`` is ``"decorrelated"`` (AWS-style: each delay is uniform in
+    ``[base, 3 * previous]``), ``"full"`` (uniform in ``[0, exp]``) or
+    ``"none"`` (pure exponential).  A ``seed`` makes the delay sequence
+    reproducible, which chaos plans rely on.
+    """
+
+    retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: Optional[float] = None
+    jitter: str = "decorrelated"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.jitter not in ("decorrelated", "full", "none"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}")
+
+    def delays(self) -> Iterator[float]:
+        """Yield the backoff delay before each retry (``retries`` values)."""
+        rng = random.Random(self.seed)
+        previous = self.base_delay_s
+        for attempt in range(self.retries):
+            exponential = min(self.max_delay_s,
+                              self.base_delay_s * (2 ** attempt))
+            if self.jitter == "none":
+                delay = exponential
+            elif self.jitter == "full":
+                delay = rng.uniform(0.0, exponential)
+            else:  # decorrelated
+                delay = min(self.max_delay_s,
+                            rng.uniform(self.base_delay_s, previous * 3.0))
+            previous = max(delay, self.base_delay_s)
+            yield delay
+
+    def call(self, fn: Callable[[], Any],
+             retryable: Tuple[Type[BaseException], ...] = (Exception,),
+             on_retry: Optional[Callable[[BaseException, int, float], None]]
+             = None,
+             sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Run ``fn`` until it succeeds, retries run out, or the deadline hits.
+
+        ``on_retry(exc, attempt, delay)`` is invoked before each backoff
+        sleep.  Non-``retryable`` exceptions propagate immediately.
+        """
+        start = time.monotonic()
+        last: Optional[BaseException] = None
+        delay_iter = self.delays()
+        for attempt in range(self.retries + 1):
+            try:
+                return fn()
+            except retryable as exc:  # noqa: PERF203 - retry loop
+                last = exc
+                delay = next(delay_iter, 0.0)
+                if attempt >= self.retries:
+                    break
+                if self.deadline_s is not None:
+                    elapsed = time.monotonic() - start
+                    if elapsed + delay > self.deadline_s:
+                        break
+                if on_retry is not None:
+                    on_retry(exc, attempt + 1, delay)
+                if delay > 0:
+                    sleep(delay)
+        raise RetryError(
+            f"gave up after {self.retries + 1} attempts "
+            f"({time.monotonic() - start:.2f}s): {last}") from last
+
+
+class CircuitOpen(RuntimeError):
+    """Raised by callers that consult an open breaker before a call."""
+
+
+@dataclass
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) failure latch.
+
+    ``record_failure`` after ``failure_threshold`` consecutive failures
+    opens the circuit; ``allow`` then answers False until ``cooldown_s``
+    elapses, after which exactly one probe call is let through
+    (half-open).  A probe success closes the circuit, a probe failure
+    re-opens it and restarts the cooldown.  Thread-safe.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 5.0
+    clock: Callable[[], float] = time.monotonic
+    _state: str = field(default="closed", init=False)
+    _failures: int = field(default=0, init=False)
+    _opened_at: float = field(default=0.0, init=False)
+    _probing: bool = field(default=False, init=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, init=False)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self.clock() - self._opened_at >= self.cooldown_s:
+                    self._state = "half-open"
+                    self._probing = True
+                    return True
+                return False
+            # half-open: only the single probe call is in flight.
+            if not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open" or \
+                    self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self.clock()
+                self._probing = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"state": self._state, "failures": self._failures,
+                    "failure_threshold": self.failure_threshold,
+                    "cooldown_s": self.cooldown_s}

@@ -1,0 +1,262 @@
+"""Machine-checked invariants for the store and the fleet queue.
+
+These are the assertions a chaos run grades itself against: whatever a
+:class:`~repro.chaos.FaultPlan` did to the workers, afterwards
+
+* **no lost runs** -- every cell with a ``done`` record names a run that is
+  present and parseable in the store;
+* **exactly-once persistence** -- every cell has exactly one effective
+  outcome and every run id appears once in the index;
+* **byte-identical index** -- ``rebuild_index`` (from the run files, the
+  truth) and ``compact_index`` (from the journal) produce the same
+  ``index.json``, twice over (rebuild is deterministic).
+
+Corrupt run files are *expected* casualties of torn-write faults: they are
+quarantined and counted, not flagged -- the violation would be a journaled
+or ``done``-recorded run whose bytes are gone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.fleet.queue import FAILURE_KINDS, WorkQueue
+from repro.store.result_store import ResultStore, StoredRun
+
+__all__ = ["InvariantViolation", "InvariantReport", "store_digest",
+           "verify_store", "verify_queue"]
+
+
+class InvariantViolation(AssertionError):
+    """Raised by ``check()`` when a report carries violations."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one invariant sweep: passed checks, violations, counters."""
+
+    subject: str
+    checks: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def merge(self, other: "InvariantReport") -> "InvariantReport":
+        self.checks.extend(other.checks)
+        self.violations.extend(other.violations)
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+        return self
+
+    def count(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def summary(self) -> str:
+        """Greppable one-liner: ``invariants: ok (...)`` or ``VIOLATED``."""
+        extras = ", ".join(f"{key}={value}" for key, value
+                           in sorted(self.counters.items()) if value)
+        extras = f"; {extras}" if extras else ""
+        if self.ok:
+            return (f"{self.subject} invariants: ok "
+                    f"({len(self.checks)} checks{extras})")
+        lines = "\n".join(f"  - {violation}" for violation in self.violations)
+        return (f"{self.subject} invariants: VIOLATED "
+                f"({len(self.violations)} violation(s){extras})\n{lines}")
+
+    def check(self) -> "InvariantReport":
+        """Raise :class:`InvariantViolation` unless the report is clean."""
+        if not self.ok:
+            raise InvariantViolation(self.summary())
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"subject": self.subject, "ok": self.ok,
+                "checks": list(self.checks),
+                "violations": list(self.violations),
+                "counters": dict(self.counters)}
+
+
+def store_digest(store: Union[ResultStore, str, Path]) -> str:
+    """Content hash of a store's observable results: every run file plus
+    the compacted index, name-prefixed -- two stores with byte-identical
+    results (the chaos no-op acceptance) agree on this digest."""
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    digest = hashlib.sha256()
+    for run_id in store.run_ids():
+        digest.update(f"runs/{run_id}.json\0".encode())
+        digest.update(store.run_path(run_id).read_bytes())
+    try:
+        index = store.index_path.read_bytes()
+    except OSError:
+        index = b""
+    digest.update(b"index.json\0")
+    digest.update(index)
+    return digest.hexdigest()
+
+
+def verify_store(store: Union[ResultStore, str, Path],
+                 quarantine: bool = True) -> InvariantReport:
+    """Assert the store's crash-consistency invariants; repairs en route.
+
+    The sweep: parse every run file (corrupt ones are quarantined and
+    counted -- not violations, they are what torn-write faults produce);
+    note run files the merged index does not know (crash between run-file
+    write and journal append: *recovered*, not lost); then
+    :meth:`~repro.store.ResultStore.rebuild_index` and compare a second
+    rebuild plus a :meth:`~repro.store.ResultStore.compact_index` round-trip
+    byte-for-byte.  Violations are the unrepairable states: an index or
+    journal entry whose run file is missing, duplicate index rows, or a
+    nondeterministic rebuild.
+    """
+    store = store if isinstance(store, ResultStore) else ResultStore(store)
+    report = InvariantReport(subject=f"store {store.root}")
+    skipped = store.journal_skipped_lines()
+    if skipped:
+        report.count("journal_skipped_lines", skipped)
+    indexed_before = set(store._load_index(rebuild_if_missing=False))
+
+    parseable: Dict[str, StoredRun] = {}
+    for run_id in list(store.run_ids()):
+        try:
+            run = store.get(run_id)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as err:
+            report.count("corrupt_run_files")
+            if quarantine:
+                store.quarantine_run(run_id,
+                                     error=f"{type(err).__name__}: {err}")
+                report.count("quarantined")
+            continue
+        if run.run_id != run_id:
+            report.violations.append(
+                f"run file {run_id}.json carries mismatched run_id "
+                f"{run.run_id!r}")
+            continue
+        parseable[run_id] = run
+    report.checks.append(f"parsed {len(parseable)} run file(s)")
+
+    # Runs the pre-repair index knew about but whose files are gone were
+    # *lost* (journaled without a durable file would break the journal
+    # invariant); quarantined corruption is accounted, not lost.
+    quarantined_now = set(store.quarantined())
+    for run_id in sorted(indexed_before):
+        if run_id in parseable or run_id in quarantined_now:
+            continue
+        report.violations.append(
+            f"indexed run {run_id!r} has no run file on disk")
+    report.checks.append("every indexed run id is backed by a run file")
+
+    recovered = sorted(set(parseable) - indexed_before)
+    if recovered:
+        report.count("recovered_unindexed_runs", len(recovered))
+
+    # Exactly-once: by construction one file per run id; assert the merged
+    # view holds no duplicates after repair (dict keys make collisions
+    # impossible, so this checks the file <-> row bijection instead).
+    store.rebuild_index(quarantine=quarantine)
+    first = store.index_path.read_bytes()
+    index_rows = set(store._load_index(rebuild_if_missing=False))
+    if index_rows != set(parseable):
+        missing = sorted(set(parseable) - index_rows)
+        extra = sorted(index_rows - set(parseable))
+        report.violations.append(
+            f"rebuilt index disagrees with run files "
+            f"(missing {missing!r}, extra {extra!r})")
+    else:
+        report.checks.append(
+            f"rebuilt index covers exactly the {len(parseable)} parseable "
+            f"run(s) (exactly-once persistence)")
+
+    store.rebuild_index(quarantine=quarantine)
+    second = store.index_path.read_bytes()
+    if first != second:
+        report.violations.append("rebuild_index is not deterministic "
+                                 "(two rebuilds differ byte-for-byte)")
+    else:
+        report.checks.append("rebuild_index is byte-deterministic")
+
+    store.compact_index()
+    compacted = store.index_path.read_bytes()
+    if compacted != second:
+        report.violations.append(
+            "compact_index over a clean journal does not reproduce "
+            "rebuild_index byte-for-byte")
+    else:
+        report.checks.append("compact_index round-trips rebuild_index "
+                             "byte-for-byte")
+    return report
+
+
+def verify_queue(queue: Union[WorkQueue, str, Path],
+                 store: Optional[Union[ResultStore, str, Path]] = None,
+                 ) -> InvariantReport:
+    """Assert the queue's exactly-once / no-lost-runs invariants.
+
+    Every populated cell must have exactly one effective outcome (``done``
+    or ``failed``, never both -- success supersedes); with ``store`` given,
+    every ``done`` record's run must be present and parseable there (the
+    no-lost-runs half of the contract).  Leftover leases are only counted:
+    an expired lease after a crash is normal queue state, not corruption.
+    """
+    queue = queue if isinstance(queue, WorkQueue) else WorkQueue(queue)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    report = InvariantReport(subject=f"queue {queue.root}")
+    done = queue.done_records()
+    failed = queue.failed_records()
+    cells = queue.cells()
+    report.count("cells", len(cells))
+    report.count("done", len(done))
+    report.count("failed", len(failed))
+
+    both = sorted(set(done) & set(failed))
+    for key in both:
+        report.violations.append(
+            f"cell {key!r} carries both a done and a failed record")
+    if not both:
+        report.checks.append("no cell has two outcomes (exactly-once)")
+
+    missing = [cell.key for cell in cells
+               if cell.key not in done and cell.key not in failed]
+    if missing:
+        report.count("cells_without_outcome", len(missing))
+    else:
+        report.checks.append(f"all {len(cells)} cell(s) reached an outcome")
+
+    for key, record in sorted(failed.items()):
+        kind = str(record.get("kind", ""))
+        if kind not in FAILURE_KINDS:
+            report.violations.append(
+                f"failure record {key!r} has unknown kind {kind!r}")
+    report.checks.append("failure records carry valid kinds")
+
+    if store is not None:
+        lost = []
+        for key, record in sorted(done.items()):
+            run_id = str(record.get("run_id", ""))
+            try:
+                store.get(run_id)
+            except (KeyError, ValueError, TypeError,
+                    json.JSONDecodeError) as error:
+                lost.append((key, run_id, f"{type(error).__name__}: {error}"))
+        for key, run_id, error in lost:
+            report.violations.append(
+                f"done cell {key!r} names run {run_id!r} that the store "
+                f"cannot load ({error}) -- a lost run")
+        if not lost:
+            report.checks.append(
+                f"all {len(done)} done record(s) resolve to stored runs "
+                f"(no lost runs)")
+
+    stale_leases = sum(1 for cell in cells
+                       if queue.lease_path(cell.key).exists()
+                       and cell.key in set(done) | set(failed))
+    if stale_leases:
+        report.count("stale_leases", stale_leases)
+    return report

@@ -101,6 +101,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -120,10 +121,19 @@ from repro.api import (
     WorkloadSpec,
     run_planner_study,
 )
+from repro.chaos import (
+    FAULT_POINTS,
+    PLAN_DESCRIPTIONS,
+    PLAN_NAMES,
+    WORKER_CRASH_POINTS,
+    CircuitBreaker,
+    RetryPolicy,
+)
 from repro.fleet import QUEUE_DIR_NAME, WorkQueue, launch_fleet
 from repro.serve import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    FallbackExecutor,
     FleetQueueExecutor,
     PoolExecutor,
     ReproServer,
@@ -435,6 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
                        default=AUTO_COMPACT_BYTES, metavar="N",
                        help="likewise, once the journal reaches N bytes "
                             f"(0 disables; default: {AUTO_COMPACT_BYTES})")
+    serve.add_argument("--stuck-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="fleet executor only: seconds a queued cell may "
+                            "sit with no outcome and no live worker lease "
+                            "before it is declared stuck (default: wait "
+                            "forever)")
+    serve.add_argument("--no-fallback", action="store_true",
+                       help="with --executor fleet and --stuck-timeout: fail "
+                            "stuck submissions instead of degrading to an "
+                            "in-process pool behind a circuit breaker")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request to stderr")
 
@@ -461,6 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="cap on how long to wait for a miss to execute")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry an unreachable daemon N times with "
+                             "exponential backoff before giving up "
+                             "(default: 0, fail on first refusal)")
+    submit.add_argument("--retry-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="overall deadline across retries; implies "
+                             "--retries 1000000 when --retries is 0")
     submit.add_argument("--json", action="store_true",
                         help="print the raw JSON reply instead of a summary")
     submit.add_argument("--status", action="store_true",
@@ -496,6 +524,53 @@ def build_parser() -> argparse.ArgumentParser:
     store_rebuild = stsub.add_parser(
         "rebuild", help="regenerate the index from the run files (the truth)")
     _add_store_arg(store_rebuild)
+
+    store_prune = stsub.add_parser(
+        "prune", help="bounded eviction: delete old runs by age and/or count")
+    _add_store_arg(store_prune)
+    store_prune.add_argument("--older-than", type=float, default=None,
+                             metavar="DAYS",
+                             help="delete runs created more than DAYS ago")
+    store_prune.add_argument("--max-runs", type=int, default=None,
+                             metavar="N",
+                             help="then keep at most N runs (oldest "
+                                  "unprotected runs evicted first)")
+    store_prune.add_argument("--protect-tag", action="append", default=None,
+                             metavar="TAG",
+                             help="never delete runs carrying TAG, "
+                                  "repeatable (default: baseline)")
+    store_prune.add_argument("--dry-run", action="store_true",
+                             help="report what would be deleted, delete "
+                                  "nothing")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection campaigns "
+                      "(crash/torn-write/stall) with invariant checking")
+    chsub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_run = chsub.add_parser(
+        "run", help="execute a fault plan against a scratch store and "
+                    "verify the crash-consistency invariants")
+    chaos_run.add_argument("--plan", type=str, required=True,
+                           choices=PLAN_NAMES,
+                           help="which built-in fault campaign to run")
+    chaos_run.add_argument("--store", type=str, default=None, metavar="DIR",
+                           help="scratch store directory, wiped before the "
+                                "run (default: .repro-chaos/<plan>)")
+    chaos_run.add_argument("--seed", type=int, default=0,
+                           help="plan seed; the same (plan, seed) replays "
+                                "the identical fault campaign (default: 0)")
+    chaos_run.add_argument("--quick", action="store_true",
+                           help="shrink workloads for CI smoke runs")
+    chaos_run.add_argument("--no-inject", action="store_true",
+                           help="run the identical campaign with no faults "
+                                "installed (the no-op acceptance check: the "
+                                "store digest must match an injected run)")
+    chaos_run.add_argument("--report", type=str, default=None, metavar="PATH",
+                           help="also write the full JSON chaos report here")
+
+    chsub.add_parser("plans", help="list the built-in chaos plans")
+    chsub.add_parser("points", help="list the named fault-injection points")
     return parser
 
 
@@ -1156,7 +1231,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         auto_compact_bytes=args.auto_compact_bytes)
     if args.executor == "fleet":
         queue_root = args.queue or store.root / QUEUE_DIR_NAME / "serve"
-        executor = FleetQueueExecutor(store, WorkQueue(queue_root))
+        executor = FleetQueueExecutor(store, WorkQueue(queue_root),
+                                      stuck_timeout=args.stuck_timeout)
+        if args.stuck_timeout is not None and not args.no_fallback:
+            # Graceful degradation: when the queue has no live workers,
+            # stuck submissions fall back to an in-process pool and a
+            # circuit breaker short-circuits the queue until it recovers.
+            executor = FallbackExecutor(
+                executor, PoolExecutor(store, max_workers=args.max_workers),
+                CircuitBreaker())
     else:
         if args.max_workers < 1:
             print("error: --max-workers must be at least 1", file=sys.stderr)
@@ -1201,7 +1284,11 @@ def _submit_spec_payload(args: argparse.Namespace) -> Optional[Dict[str, Any]]:
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
-    client = ServeClient(args.address, client=args.client)
+    retry = None
+    if args.retries > 0 or args.retry_deadline is not None:
+        retries = args.retries if args.retries > 0 else 1_000_000
+        retry = RetryPolicy(retries=retries, deadline_s=args.retry_deadline)
+    client = ServeClient(args.address, client=args.client, retry=retry)
     try:
         if args.status:
             print(json.dumps(client.status(), indent=2))
@@ -1249,7 +1336,16 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 
 def cmd_store_ls(args: argparse.Namespace) -> int:
-    return cmd_study_ls(args)
+    code = cmd_study_ls(args)
+    if code == 0:
+        store = _open_store(args.store)
+        if store is not None:
+            skipped = store.journal_skipped_lines()
+            quarantined = store.quarantined()
+            print(f"journal: {skipped} torn/skipped line(s); "
+                  f"quarantine: {len(quarantined)} run(s)"
+                  + (f" ({', '.join(quarantined)})" if quarantined else ""))
+    return code
 
 
 def cmd_store_compact(args: argparse.Namespace) -> int:
@@ -1273,6 +1369,80 @@ def cmd_store_rebuild(args: argparse.Namespace) -> int:
     rows = store.rebuild_index()
     print(f"rebuilt {store.root}: {rows} run(s) indexed from "
           f"{store.runs_dir}")
+    quarantined = store.quarantined()
+    if quarantined:
+        print(f"quarantined {len(quarantined)} unreadable run file(s) "
+              f"into {store.quarantine_dir}: {', '.join(quarantined)}")
+    return 0
+
+
+def cmd_store_prune(args: argparse.Namespace) -> int:
+    if args.older_than is None and args.max_runs is None:
+        print("error: pass --older-than and/or --max-runs",
+              file=sys.stderr)
+        return 2
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    protect = tuple(args.protect_tag) if args.protect_tag else ("baseline",)
+    if args.dry_run:
+        doomed = store.prune(older_than_days=args.older_than,
+                             max_runs=args.max_runs, protect_tags=protect,
+                             dry_run=True)
+        print(f"would delete {len(doomed)} run(s) from {store.root} "
+              f"(protected tags: {', '.join(protect)})")
+        for run_id in doomed:
+            print(f"  {run_id}")
+        return 0
+    deleted = store.prune(older_than_days=args.older_than,
+                          max_runs=args.max_runs, protect_tags=protect)
+    print(f"pruned {len(deleted)} run(s) from {store.root}, "
+          f"{len(store)} remain (protected tags: {', '.join(protect)})")
+    for run_id in deleted:
+        print(f"  {run_id}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Chaos commands
+# ----------------------------------------------------------------------
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    from repro.chaos.plans import run_chaos
+    store_root = Path(args.store) if args.store \
+        else Path(".repro-chaos") / args.plan
+    if store_root.exists():
+        contents = list(store_root.iterdir())
+        is_store = (store_root / "runs").exists() \
+            or (store_root / "index.journal").exists()
+        if contents and not is_store:
+            print(f"error: {store_root} exists and does not look like a "
+                  f"result store; refusing to wipe it", file=sys.stderr)
+            return 2
+        shutil.rmtree(store_root)
+    report = run_chaos(args.plan, store_root, seed=args.seed,
+                       quick=args.quick,
+                       inject_faults=not args.no_inject, log=print)
+    print(report.summary())
+    if args.report:
+        path = report.save(args.report)
+        print(f"chaos report written to {path}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos_plans(_: argparse.Namespace) -> int:
+    rows = [{"plan": name, "description": description}
+            for name, description in PLAN_DESCRIPTIONS.items()]
+    print_report(format_table(rows, title="Built-in chaos plans"))
+    return 0
+
+
+def cmd_chaos_points(_: argparse.Namespace) -> int:
+    rows = [{
+        "point": point,
+        "worker-reachable": "yes" if point in WORKER_CRASH_POINTS else "",
+        "fires": description,
+    } for point, description in sorted(FAULT_POINTS.items())]
+    print_report(format_table(rows, title="Fault-injection points"))
     return 0
 
 
@@ -1406,10 +1576,22 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return SUITE_COMMANDS[args.suite_command](args)
 
 
+CHAOS_COMMANDS = {
+    "run": cmd_chaos_run,
+    "plans": cmd_chaos_plans,
+    "points": cmd_chaos_points,
+}
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    return CHAOS_COMMANDS[args.chaos_command](args)
+
+
 STORE_COMMANDS = {
     "ls": cmd_store_ls,
     "compact": cmd_store_compact,
     "rebuild": cmd_store_rebuild,
+    "prune": cmd_store_prune,
 }
 
 
@@ -1456,6 +1638,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "store": cmd_store,
+    "chaos": cmd_chaos,
 }
 
 

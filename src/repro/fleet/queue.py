@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.specs import ExperimentSpec
+from repro.chaos.injection import inject
 from repro.store.result_store import atomic_write_json
 
 #: Failure kinds recorded by :meth:`WorkQueue.fail` (mirrors the study
@@ -336,6 +337,10 @@ class WorkQueue:
                 tombstone.unlink()
                 continue  # retry the exclusive create
             try:
+                # Chaos point: the lease file exists but carries no payload
+                # yet -- a crash here leaves an unreadable lease that only
+                # the mtime-fallback reclaim path can recover.
+                inject("queue.post-claim", key=key, worker=worker)
                 self._write_lease_fd(fd, key, worker)
             finally:
                 os.close(fd)
@@ -393,6 +398,7 @@ class WorkQueue:
 
     def heartbeat(self, key: str, worker: str) -> None:
         """Refresh the lease mtime; raises :class:`LeaseLost` if not owned."""
+        inject("queue.heartbeat", key=key, worker=worker)
         info = self.lease_info(key)
         if not self._owned(info, worker):
             raise LeaseLost(
@@ -425,9 +431,11 @@ class WorkQueue:
         (``status()`` would double-count it and report the queue finished
         early).
         """
+        inject("queue.pre-outcome", key=key, worker=worker)
         self._atomic_write_json(self.done_path(key), {
             "key": key, "worker": worker, "run_id": run_id,
             "seconds": float(seconds), "finished_at": time.time()})
+        inject("queue.post-outcome", key=key, worker=worker)
         try:
             self.failed_path(key).unlink()
         except FileNotFoundError:
@@ -449,9 +457,11 @@ class WorkQueue:
         if self.done_path(key).exists():
             self.release(key, worker)
             return
+        inject("queue.pre-outcome", key=key, worker=worker)
         self._atomic_write_json(self.failed_path(key), {
             "key": key, "worker": worker, "kind": kind, "error": str(error),
             "finished_at": time.time()})
+        inject("queue.post-outcome", key=key, worker=worker)
         self.release(key, worker)
 
     def _finished(self, key: str) -> bool:

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.runner import ExperimentRunner
+from repro.chaos.injection import inject, maybe_install_from_env
 from repro.fleet.queue import QueueStatus, QueuedCell, WorkQueue, cell_key
 from repro.store import ResultStore
 from repro.study.runner import (
@@ -118,6 +119,7 @@ class FleetWorker:
         beater.start()
         started = time.time()
         try:
+            inject("worker.pre-run", cell=cell.key, worker=self.worker_id)
             try:
                 result = ExperimentRunner(parallel=False).run(cell.spec)
             except Exception as error:  # deterministic cell failure
@@ -126,6 +128,7 @@ class FleetWorker:
                                 kind="cell")
                 report.failed.append(cell.cell_id)
                 return True
+            inject("worker.post-run", cell=cell.key, worker=self.worker_id)
             try:
                 stored = self.store.put(result, tags=cell.tags)
             except Exception as error:  # store failure: abort the worker
@@ -151,8 +154,15 @@ class FleetWorker:
 
 
 def _worker_entry(queue_root: str, store_root: str, worker_id: str,
-                  lease_timeout: float, poll_interval: float) -> None:
-    """Process entry point (module-level so every start method can spawn it)."""
+                  lease_timeout: float, poll_interval: float,
+                  incarnation: int = 0) -> None:
+    """Process entry point (module-level so every start method can spawn it).
+
+    ``incarnation`` counts supervisor respawns of this worker id; it scopes
+    chaos faults (see :func:`repro.chaos.maybe_install_from_env`) so a
+    respawned worker does not re-arm the fault that killed its predecessor.
+    """
+    maybe_install_from_env(scope=worker_id, incarnation=incarnation)
     worker = FleetWorker(WorkQueue(queue_root, lease_timeout=lease_timeout),
                          ResultStore(store_root), worker_id=worker_id,
                          poll_interval=poll_interval)
@@ -187,6 +197,8 @@ class FleetReport:
     failures: List[FleetFailure] = field(default_factory=list)
     #: worker id -> cell ids that worker completed.
     cells_by_worker: Dict[str, List[str]] = field(default_factory=dict)
+    #: worker id -> how many times the supervisor respawned it.
+    respawns: Dict[str, int] = field(default_factory=dict)
     wall_time_s: float = 0.0
 
     @property
@@ -208,12 +220,18 @@ class FleetReport:
 
     def summary(self) -> str:
         """One-line, machine-greppable outcome (used by the CI smoke step)."""
+        respawned = ""
+        if self.respawns:
+            counts = " ".join(f"{worker}={count}" for worker, count
+                              in sorted(self.respawns.items()))
+            respawned = f"; respawns: {counts}"
         return (f"fleet {self.study!r}: {len(self.cells)} cells, "
                 f"executed {len(self.executed)}, "
                 f"skipped {len(self.skipped)}, "
                 f"failed {len(self.failures)} "
                 f"({len(self.workers)} workers: {self.worker_summary()}; "
-                f"store: {self.store_root}; {self.wall_time_s:.1f}s)")
+                f"store: {self.store_root}{respawned}; "
+                f"{self.wall_time_s:.1f}s)")
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -226,6 +244,7 @@ class FleetReport:
             "failures": [failure.to_dict() for failure in self.failures],
             "cells_by_worker": {worker: list(cells) for worker, cells
                                 in self.cells_by_worker.items()},
+            "respawns": dict(self.respawns),
             "wall_time_s": self.wall_time_s,
         }
 
@@ -248,7 +267,8 @@ def launch_fleet(study: StudySpec, store: ResultStore, workers: int = 2,
                  poll_interval: float = 0.2,
                  progress_interval: float = 2.0,
                  on_progress: Optional[Callable[[QueueStatus], None]] = None,
-                 check: bool = True) -> FleetReport:
+                 check: bool = True,
+                 respawn_limit: int = 0) -> FleetReport:
     """Execute a study with ``workers`` cooperating OS processes.
 
     The coordinator prunes stale queue state, populates the work queue
@@ -277,6 +297,11 @@ def launch_fleet(study: StudySpec, store: ResultStore, workers: int = 2,
             failure was a store write, else :class:`StudyCellError`, with
             the report attached as ``exc.report``); pass ``False`` to get
             the report back regardless.
+        respawn_limit: Supervision budget *per worker id*: a worker process
+            that exits abnormally (nonzero status or a signal) while cells
+            are still outstanding is respawned up to this many times, each
+            respawn recorded in ``FleetReport.respawns``.  0 (the default)
+            keeps the historical fail-fast behavior.
 
     Returns:
         A :class:`FleetReport`: per-cell outcomes in grid order, failures,
@@ -304,20 +329,42 @@ def launch_fleet(study: StudySpec, store: ResultStore, workers: int = 2,
     queue.populate(queued)
 
     worker_ids = tuple(f"worker-{index + 1}" for index in range(workers))
-    processes = [
-        multiprocessing.Process(
-            target=_worker_entry,
-            args=(str(root), str(store.root), worker_id,
-                  float(lease_timeout), float(poll_interval)),
-            name=f"repro-fleet-{worker_id}")
-        for worker_id in worker_ids
-    ]
+    respawns: Dict[str, int] = {}
     if queued:
-        for process in processes:
+        processes: Dict[str, multiprocessing.Process] = {}
+        incarnations: Dict[str, int] = {w: 0 for w in worker_ids}
+
+        def spawn(worker_id: str) -> None:
+            process = multiprocessing.Process(
+                target=_worker_entry,
+                args=(str(root), str(store.root), worker_id,
+                      float(lease_timeout), float(poll_interval),
+                      incarnations[worker_id]),
+                name=f"repro-fleet-{worker_id}")
             process.start()
+            processes[worker_id] = process
+
+        for worker_id in worker_ids:
+            spawn(worker_id)
         try:
             last_progress = 0.0
-            while any(process.is_alive() for process in processes):
+            while True:
+                # Supervision pass: a worker that exited abnormally while
+                # cells remain outstanding is respawned (next incarnation)
+                # until its budget runs out -- its in-flight cell is safe
+                # either way (the lease expires and a survivor or the
+                # respawn itself takes it over).
+                for worker_id, process in list(processes.items()):
+                    if process.is_alive() or process.exitcode in (0, None):
+                        continue
+                    if (respawns.get(worker_id, 0) < respawn_limit
+                            and queue.outstanding()):
+                        process.join()
+                        respawns[worker_id] = respawns.get(worker_id, 0) + 1
+                        incarnations[worker_id] += 1
+                        spawn(worker_id)
+                if not any(p.is_alive() for p in processes.values()):
+                    break
                 if on_progress is not None and \
                         time.time() - last_progress >= progress_interval:
                     try:
@@ -337,11 +384,12 @@ def launch_fleet(study: StudySpec, store: ResultStore, workers: int = 2,
             # Never leave spawned workers orphaned: whatever unwinds the
             # wait loop, the children are joined before control escapes
             # (they exit on their own once every cell has an outcome).
-            for process in processes:
+            for process in processes.values():
                 process.join()
 
     report = _collect_report(study, store, queue, worker_ids, all_tags,
                              queued, skipped, cells)
+    report.respawns = respawns
     report.wall_time_s = time.time() - started
     if report.executed:
         store.compact_index()

@@ -18,16 +18,23 @@ from repro.serve.daemon import (
     ServeError,
     parse_submission,
 )
-from repro.serve.executor import FleetQueueExecutor, PoolExecutor
+from repro.serve.executor import (
+    FallbackExecutor,
+    FleetQueueExecutor,
+    PoolExecutor,
+    QueueStuck,
+)
 from repro.serve.client import ServeClient, ServeUnavailable, SubmitReply
 
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "FallbackExecutor",
     "FleetQueueExecutor",
     "InFlightEntry",
     "InFlightTable",
     "PoolExecutor",
+    "QueueStuck",
     "ReproServer",
     "ServeApp",
     "ServeClient",

@@ -28,6 +28,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.chaos.injection import inject
+from repro.chaos.retry import RetryError, RetryPolicy
+
 #: Connection errors worth one reconnect-and-retry: the daemon drops idle
 #: keep-alive connections after a few seconds, so a client that paused
 #: between requests finds its cached connection dead on the next use.
@@ -118,12 +121,23 @@ class ServeClient:
         client: Client name sent with submissions; the daemon tags runs it
             executes for us with ``client:<name>``.
         timeout: Socket timeout per request (connect and read).
+        retry: Optional :class:`~repro.chaos.RetryPolicy` applied around
+            whole requests: with it, a refused connection or a dropped
+            reply is retried with backoff until the policy's attempts or
+            deadline run out (safe: submissions are memoized server-side
+            by content-hashed run id), so a daemon restarting mid-benchmark
+            no longer fails the client instantly.  Without it (default)
+            the historical behavior stands -- one free reconnect on a dead
+            keep-alive connection, immediate :class:`ServeUnavailable`
+            when nothing is listening.
     """
 
     def __init__(self, address: Union[str, int, Path],
-                 client: Optional[str] = None, timeout: float = 630.0):
+                 client: Optional[str] = None, timeout: float = 630.0,
+                 retry: Optional[RetryPolicy] = None):
         self.client = client
         self.timeout = float(timeout)
+        self.retry = retry
         self._host: Optional[str] = None
         self._port: Optional[int] = None
         self._unix_path: Optional[str] = None
@@ -170,23 +184,21 @@ class ServeClient:
         when their threads drop the client)."""
         self._drop_connection()
 
-    def _request(self, method: str, path: str,
-                 payload: Optional[Mapping[str, Any]] = None
-                 ) -> Tuple[int, Dict[str, Any]]:
-        body = None if payload is None else json.dumps(payload).encode()
-        headers = {"Content-Type": "application/json"} if body else {}
-        # One retry on a dead cached connection (daemon idle-timeout);
+    def _request_once(self, method: str, path: str, body: Optional[bytes],
+                      headers: Mapping[str, str]) -> Tuple[int, bytes]:
+        # One free retry on a dead cached connection (daemon idle-timeout);
         # submissions are memoized server-side, so a retry is safe.
         for attempt in range(2):
             connection = self._connection()
             try:
-                connection.request(method, path, body=body, headers=headers)
+                inject("serve.client-request", method=method, path=path)
+                connection.request(method, path, body=body,
+                                   headers=dict(headers))
                 response = connection.getresponse()
-                raw = response.read()
-                break
+                return response.status, response.read()
             except (ConnectionRefusedError, FileNotFoundError) as error:
-                # Nothing is listening (or the unix socket is gone):
-                # retrying cannot help.
+                # Nothing is listening (or the unix socket is gone): only
+                # a cross-request retry policy (daemon restart) can help.
                 self._drop_connection()
                 raise ServeUnavailable(
                     f"repro-serve at {self.address} unreachable: "
@@ -200,13 +212,32 @@ class ServeClient:
                 raise ServeUnavailable(
                     f"repro-serve at {self.address} unreachable: "
                     f"{error}") from error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None
+                 ) -> Tuple[int, Dict[str, Any]]:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self.retry is None:
+            status, raw = self._request_once(method, path, body, headers)
+        else:
+            try:
+                status, raw = self.retry.call(
+                    lambda: self._request_once(method, path, body, headers),
+                    retryable=(ServeUnavailable,) + _RETRYABLE)
+            except RetryError as error:
+                cause = error.__cause__
+                raise ServeUnavailable(
+                    f"repro-serve at {self.address} unreachable "
+                    f"({error})") from cause
         try:
             decoded = json.loads(raw) if raw else {}
         except ValueError:
             decoded = {"error": raw.decode(errors="replace")}
         if not isinstance(decoded, dict):
             decoded = {"value": decoded}
-        return response.status, decoded
+        return status, decoded
 
     # -- protocol -------------------------------------------------------
     def submit(self, spec: Any, tags: Sequence[str] = (), wait: bool = True,
@@ -239,6 +270,11 @@ class ServeClient:
         if status == 404:
             raise KeyError(body.get("error", run_id))
         return body
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /health``: ``(http_status, body)`` -- 200 ok/degraded,
+        503 when the daemon's store is unreadable."""
+        return self._request("GET", "/health")
 
     def status(self) -> Dict[str, Any]:
         status, body = self._request("GET", "/status")

@@ -25,6 +25,7 @@ HTTP surface::
                           "client": str, "wait": bool, "timeout": s}
                          -> 200 done / 202 scheduled / 400 / 500
     GET  /status         -> server + cache + executor counters
+    GET  /health         -> store/executor liveness: 200 ok|degraded / 503
     GET  /result/<run_id> -> full stored envelope / 404
     POST /shutdown       -> 200, then the daemon drains and exits
 
@@ -389,6 +390,41 @@ class ServeApp:
             "recent_errors": recent_errors,
         }
 
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """The ``GET /health`` body: store and executor liveness probes.
+
+        200 ``"ok"`` when every dependency answers; 200 ``"degraded"``
+        when the executor reports trouble (a stuck fleet queue, an open
+        circuit breaker) but cached traffic is still served; 503
+        ``"unavailable"`` when the store itself cannot be read -- the
+        signal a load balancer or supervisor should act on.
+        """
+        body: Dict[str, Any] = {"service": "repro-serve",
+                                "draining": self._draining}
+        try:
+            runs = len(self.store)
+            self.store.entries()  # exercises the index read path
+            body["store"] = {
+                "ok": True, "runs": runs,
+                "quarantined": len(self.store.quarantined()),
+                "journal_skipped_lines": self.store.journal_skipped_lines(),
+            }
+        except Exception as error:
+            body["store"] = {"ok": False,
+                             "error": f"{type(error).__name__}: {error}"}
+            body["status"] = "unavailable"
+            return 503, body
+        if hasattr(self.executor, "health"):
+            executor = self.executor.health()
+        else:  # executor predating the health contract
+            executor = {"kind": self.executor.kind, "ok": True}
+        body["executor"] = executor
+        degraded = (not executor.get("ok", True)
+                    or bool(executor.get("degraded"))
+                    or self._draining)
+        body["status"] = "degraded" if degraded else "ok"
+        return 200, body
+
     # -- lifecycle ------------------------------------------------------
     def drain(self) -> None:
         """Finish in-flight work and leave the store tidy.
@@ -472,6 +508,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
         try:
             if self.path == "/status":
                 self._reply(200, self.app.status())
+            elif self.path == "/health":
+                status, body = self.app.health()
+                self._reply(status, body)
             elif self.path.startswith("/result/"):
                 run_id = self.path[len("/result/"):]
                 status, body = self.app.result(run_id)

@@ -9,6 +9,7 @@ from repro.store.result_store import (
     AUTO_COMPACT_BYTES,
     AUTO_COMPACT_LINES,
     DIFF_METRICS,
+    FIXED_CREATED_AT_ENV,
     IndexEntry,
     MetricDelta,
     RegressedMetric,
@@ -28,6 +29,7 @@ __all__ = [
     "AUTO_COMPACT_BYTES",
     "AUTO_COMPACT_LINES",
     "DIFF_METRICS",
+    "FIXED_CREATED_AT_ENV",
     "IndexEntry",
     "MetricDelta",
     "RegressedMetric",

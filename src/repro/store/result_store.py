@@ -90,9 +90,15 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 from repro.api.runner import ExperimentResult
 from repro.api.specs import ExperimentSpec
+from repro.chaos.injection import inject
 
 #: Current on-disk envelope format; bump on incompatible layout changes.
 STORE_FORMAT = 1
+
+#: When set (a float), :meth:`ResultStore.put` stamps runs with this fixed
+#: ``created_at`` instead of ``time.time()``.  Chaos runs export it so a
+#: faulted store and its fault-free control end up byte-identical.
+FIXED_CREATED_AT_ENV = "REPRO_STORE_FIXED_CREATED_AT"
 
 #: Default auto-compaction thresholds: once ``index.journal`` carries this
 #: many lines (or bytes), :meth:`ResultStore.put` folds it into
@@ -461,6 +467,7 @@ class ResultStore:
     JOURNAL_NAME = "index.journal"
     LOCK_NAME = "store.lock"
     RUNS_DIR = "runs"
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Union[str, Path],
                  auto_compact_lines: Optional[int] = AUTO_COMPACT_LINES,
@@ -503,6 +510,10 @@ class ResultStore:
     def lock_path(self) -> Path:
         return self.root / self.LOCK_NAME
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / self.QUARANTINE_DIR
+
     def run_path(self, run_id: str) -> Path:
         return self.runs_dir / f"{run_id}.json"
 
@@ -544,6 +555,10 @@ class ResultStore:
             fd = os.open(self.journal_path,
                          os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
             try:
+                # Chaos point: a torn-write fault here persists *half* the
+                # line and kills the writer -- the skip-on-read path plus
+                # rebuild_index must recover the run.
+                inject("store.mid-journal-line", fd=fd, data=line)
                 os.write(fd, line)
                 os.fsync(fd)
                 size = os.fstat(fd).st_size
@@ -557,18 +572,21 @@ class ResultStore:
                 self._journal_lines = None  # interleaved appends: recount lazily
             self._journal_size = size
 
-    def _read_journal(self) -> List[Dict[str, Any]]:
-        """The journal's parseable put/delete records, in append order.
+    def _scan_journal(self) -> Tuple[List[Dict[str, Any]], int]:
+        """The journal's parseable put/delete records plus the skip count.
 
         Unparseable lines (a torn append from a crashed writer, manual
         edits) are skipped: the run files remain the truth and
-        :meth:`rebuild_index` recovers anything a skip loses.
+        :meth:`rebuild_index` recovers anything a skip loses.  The skip
+        count is surfaced (``repro store ls``, :func:`verify_store`) so a
+        torn tail is visible instead of silently dropped.
         """
         try:
             text = self.journal_path.read_text()
         except OSError:
-            return []
+            return [], 0
         records: List[Dict[str, Any]] = []
+        skipped = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -578,11 +596,21 @@ class ResultStore:
                 if record["op"] == "put":
                     dict(record["entry"])  # must be a mapping
                 elif record["op"] != "delete":
+                    skipped += 1
                     continue
             except (ValueError, KeyError, TypeError):
+                skipped += 1
                 continue
             records.append(record)
-        return records
+        return records, skipped
+
+    def _read_journal(self) -> List[Dict[str, Any]]:
+        """The journal's parseable put/delete records, in append order."""
+        return self._scan_journal()[0]
+
+    def journal_skipped_lines(self) -> int:
+        """How many journal lines are currently unparseable (torn/corrupt)."""
+        return self._scan_journal()[1]
 
     def _apply_journal(
             self, base: Mapping[str, Mapping[str, Any]],
@@ -694,16 +722,27 @@ class ResultStore:
                 callers that want a fresh ``index.json`` after every put.
         """
         tags = tuple(sorted({str(t) for t in tags}))
+        if created_at is None:
+            fixed = os.environ.get(FIXED_CREATED_AT_ENV)
+            created_at = float(fixed) if fixed else time.time()
         run = StoredRun(
             run_id=run_id_for(result.spec, tags),
             fingerprint=spec_fingerprint(result.spec),
-            created_at=time.time() if created_at is None else float(created_at),
+            created_at=float(created_at),
             tags=tags,
             result=result,
         )
+        inject("store.pre-run-file", run_id=run.run_id)
         self._atomic_write_json(self.run_path(run.run_id), run.to_dict())
+        # Chaos point: the run file is durable but unjournaled -- a crash
+        # here must be repaired by rebuild_index (file wins over journal); a
+        # corrupt-file fault here truncates the envelope, which quarantine
+        # must catch.
+        inject("store.post-run-file", run_id=run.run_id,
+               path=str(self.run_path(run.run_id)))
         entry = IndexEntry.from_run(run).to_dict()
         self._append_journal({"op": "put", "entry": entry})
+        inject("store.post-journal", run_id=run.run_id)
         if compact:
             self.compact_index()
         else:
@@ -732,6 +771,54 @@ class ResultStore:
         if existed or run_id in self._load_index(rebuild_if_missing=False):
             self._append_journal({"op": "delete", "run_id": run_id})
         return existed
+
+    def prune(self, older_than_days: Optional[float] = None,
+              max_runs: Optional[int] = None,
+              protect_tags: Sequence[str] = ("baseline",),
+              now: Optional[float] = None,
+              compact: bool = True,
+              dry_run: bool = False) -> List[str]:
+        """Bounded eviction: delete old runs by age and/or count.
+
+        Runs carrying any of ``protect_tags`` (default: ``baseline``, the
+        regression-gate anchors) are never deleted and never counted
+        against ``max_runs`` enforcement order -- a store can therefore end
+        above ``max_runs`` when protected runs alone exceed it.
+
+        Args:
+            older_than_days: Delete unprotected runs whose ``created_at``
+                is older than this many days.
+            max_runs: After the age pass, delete oldest unprotected runs
+                until at most this many runs remain in total.
+            protect_tags: Tags that exempt a run from deletion.
+            now: Clock override for tests.
+            compact: Fold the deletes into ``index.json`` afterwards.
+            dry_run: Report what would be deleted, delete nothing.
+
+        Returns the deleted (or, dry-run, doomed) run ids, oldest first.
+        """
+        now = time.time() if now is None else float(now)
+        entries = self.entries()  # oldest first
+        protected = set(protect_tags)
+        deletable = [entry for entry in entries
+                     if not (protected & set(entry.tags))]
+        doomed: List[IndexEntry] = []
+        if older_than_days is not None:
+            cutoff = now - float(older_than_days) * 86400.0
+            doomed.extend(entry for entry in deletable
+                          if entry.created_at < cutoff)
+        if max_runs is not None:
+            doomed_ids = {entry.run_id for entry in doomed}
+            survivors = [entry for entry in deletable
+                         if entry.run_id not in doomed_ids]
+            excess = (len(entries) - len(doomed)) - int(max_runs)
+            doomed.extend(survivors[:max(0, excess)])
+        if not dry_run:
+            for entry in doomed:
+                self.delete(entry.run_id)
+            if doomed and compact:
+                self.compact_index()
+        return [entry.run_id for entry in doomed]
 
     # -- reading --------------------------------------------------------
     def get(self, run_id: str) -> StoredRun:
@@ -853,29 +940,63 @@ class ResultStore:
         self._index_cache = (key, merged)
         return merged
 
-    def rebuild_index(self) -> int:
+    def rebuild_index(self, quarantine: bool = True) -> int:
         """Regenerate ``index.json`` from the run files; returns the count.
 
         This is the cold-start / repair path: the index layer is a cache,
         the run files are the truth -- so a rebuild also *wins over a stale
         journal* (entries whose run files vanished are dropped) and leaves
-        the journal empty.  Unreadable run files are skipped (they would
-        otherwise wedge every store operation after a partial copy).  Runs
-        exclusively against concurrent appends: any journal line present
-        once the lock is held refers to a run file already on disk (put
-        writes the file before the line), so truncating loses nothing.
+        the journal empty.  Unreadable run files are moved into
+        ``quarantine/`` with an error report (pass ``quarantine=False`` to
+        merely skip them) -- either way they cannot wedge every store
+        operation after a partial copy, and quarantining additionally makes
+        the corruption *visible* (``repro store ls``) and the run id
+        re-storable.  Runs exclusively against concurrent appends: any
+        journal line present once the lock is held refers to a run file
+        already on disk (put writes the file before the line), so
+        truncating loses nothing.
         """
         with self._locked():
             index: Dict[str, Dict[str, Any]] = {}
             for run_id in self.run_ids():
                 try:
                     run = self.get(run_id)
-                except (KeyError, ValueError, TypeError, json.JSONDecodeError):
+                except (ValueError, TypeError, KeyError,
+                        json.JSONDecodeError) as error:
+                    if quarantine:
+                        self.quarantine_run(
+                            run_id, error=f"{type(error).__name__}: {error}")
                     continue
                 index[run_id] = IndexEntry.from_run(run).to_dict()
             self._write_index(index)
             self._clear_journal()
         return len(index)
+
+    # -- quarantine ------------------------------------------------------
+    def quarantine_run(self, run_id: str, error: str = "") -> Optional[Path]:
+        """Move a corrupt run file to ``quarantine/`` with an error report.
+
+        Returns the quarantined path (None when the run file is gone).
+        The original bytes are preserved for post-mortems; a re-``put`` of
+        the same spec simply recreates ``runs/<run_id>.json``.
+        """
+        source = self.run_path(run_id)
+        if not source.exists():
+            return None
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination = self.quarantine_dir / source.name
+        os.replace(source, destination)
+        atomic_write_json(self.quarantine_dir / f"{run_id}.report.json",
+                          {"run_id": run_id, "error": str(error),
+                           "quarantined_at": time.time()})
+        return destination
+
+    def quarantined(self) -> List[str]:
+        """Run ids currently held in ``quarantine/``, sorted."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(path.stem for path in self.quarantine_dir.glob("*.json")
+                      if not path.name.endswith(".report.json"))
 
     def compact_index(self) -> int:
         """Fold the journal into ``index.json``; returns the row count.

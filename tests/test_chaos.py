@@ -1,0 +1,460 @@
+"""Tests for the chaos subsystem (repro.chaos)."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    ClusterSpec,
+    ExperimentResult,
+    ExperimentSpec,
+    SystemResult,
+    WorkloadSpec,
+)
+from repro.chaos import (
+    CHAOS_PLAN_ENV,
+    FAULT_POINTS,
+    PLAN_NAMES,
+    WORKER_CRASH_POINTS,
+    ChaosReport,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InvariantViolation,
+    RetryError,
+    RetryPolicy,
+    build_plan,
+    inject,
+    install,
+    maybe_install_from_env,
+    run_chaos,
+    store_digest,
+    uninstall,
+    verify_queue,
+    verify_store,
+)
+from repro.fleet import WorkQueue, launch_fleet
+from repro.store import FIXED_CREATED_AT_ENV, ResultStore
+from repro.study import make_study
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """Every test starts and ends without a process-wide injector."""
+    uninstall()
+    yield
+    uninstall()
+
+
+def chaos_spec(name="chaos-test", seed=5, **overrides) -> ExperimentSpec:
+    defaults = dict(
+        name=name,
+        cluster=ClusterSpec(num_nodes=1, devices_per_node=4),
+        workload=WorkloadSpec(tokens_per_device=512, layers=1,
+                              iterations=2, warmup=1, seed=seed),
+        systems=("fsdp_ep",),
+        reference="fsdp_ep",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def fake_result(name: str, seed: int = 5) -> ExperimentResult:
+    """A hand-built result (no simulation) for fast store tests."""
+    spec = chaos_spec(name=name, seed=seed)
+    built = {"fsdp_ep": SystemResult(
+        key="fsdp_ep", system="fsdp_ep", throughput=100.0,
+        mean_iteration_s=0.5, tokens_per_iteration=4096,
+        speedup_vs_reference=1.0, breakdown_s={"expert_compute": 0.25})}
+    return ExperimentResult(spec=spec, reference="fsdp_ep",
+                            requested_reference="fsdp_ep", systems=built,
+                            execution_mode="sequential")
+
+
+# ----------------------------------------------------------------------
+# FaultSpec / FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_spec_round_trips_through_dict(self):
+        spec = FaultSpec(point="queue.heartbeat", kind="stall", at=3,
+                         times=2, scope="worker-1", max_incarnation=2,
+                         delay_s=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_plan_round_trips_through_file(self, tmp_path):
+        plan = FaultPlan(name="p", seed=7, faults=(
+            FaultSpec(point="worker.pre-run"),
+            FaultSpec(point="store.mid-journal-line", kind="torn-write")))
+        path = plan.save(str(tmp_path / "plan.json"))
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_point_and_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultSpec(point="store.no-such-point")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(point="worker.pre-run", kind="explode")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(point="worker.pre-run", at=0)
+
+    def test_every_worker_crash_point_is_registered(self):
+        assert set(WORKER_CRASH_POINTS) <= set(FAULT_POINTS)
+        assert len(WORKER_CRASH_POINTS) >= 6
+
+
+class TestFaultInjector:
+    def plan(self, *faults):
+        return FaultPlan(name="t", faults=tuple(faults))
+
+    def test_fires_on_the_configured_hit_only(self):
+        injector = FaultInjector(self.plan(
+            FaultSpec(point="store.post-journal", kind="enospc", at=2)))
+        injector.fire("store.post-journal", {})  # hit 1: no fault
+        with pytest.raises(OSError):
+            injector.fire("store.post-journal", {})  # hit 2: fires
+        injector.fire("store.post-journal", {})  # hit 3: past the window
+        assert injector.hits["store.post-journal"] == 3
+        assert len(injector.fired) == 1
+
+    def test_times_widens_the_window(self):
+        injector = FaultInjector(self.plan(
+            FaultSpec(point="queue.heartbeat", kind="enospc", at=1,
+                      times=2)))
+        for _ in range(2):
+            with pytest.raises(OSError):
+                injector.fire("queue.heartbeat", {})
+        injector.fire("queue.heartbeat", {})
+        assert len(injector.fired) == 2
+
+    def test_scope_restricts_to_one_worker(self):
+        fault = FaultSpec(point="worker.pre-run", kind="enospc",
+                          scope="worker-1")
+        other = FaultInjector(self.plan(fault), scope="worker-2")
+        other.fire("worker.pre-run", {})  # no match
+        mine = FaultInjector(self.plan(fault), scope="worker-1")
+        with pytest.raises(OSError):
+            mine.fire("worker.pre-run", {})
+
+    def test_respawned_incarnation_does_not_rearm(self):
+        fault = FaultSpec(point="worker.pre-run", kind="enospc",
+                          max_incarnation=1)
+        respawned = FaultInjector(self.plan(fault), incarnation=1)
+        respawned.fire("worker.pre-run", {})  # survives
+        assert respawned.fired == []
+
+    def test_corrupt_file_truncates_and_continues(self, tmp_path):
+        victim = tmp_path / "run.json"
+        victim.write_text("x" * 100)
+        injector = FaultInjector(self.plan(
+            FaultSpec(point="store.post-run-file", kind="corrupt-file")))
+        injector.fire("store.post-run-file", {"path": str(victim)})
+        assert victim.stat().st_size == 50
+        assert injector.fired[0]["kind"] == "corrupt-file"
+
+    def test_module_hook_is_noop_without_install(self):
+        inject("worker.pre-run")  # nothing installed: must not raise
+
+    def test_install_routes_module_hook(self):
+        install(FaultInjector(self.plan(
+            FaultSpec(point="worker.pre-run", kind="enospc"))))
+        with pytest.raises(OSError):
+            inject("worker.pre-run")
+        uninstall()
+        inject("worker.pre-run")
+
+    def test_maybe_install_from_env(self, tmp_path):
+        assert maybe_install_from_env(environ={}) is None
+        path = FaultPlan(name="p", faults=(
+            FaultSpec(point="worker.pre-run"),)).save(
+            str(tmp_path / "plan.json"))
+        injector = maybe_install_from_env(
+            scope="worker-3", environ={CHAOS_PLAN_ENV: path,
+                                       "REPRO_CHAOS_INCARNATION": "2"})
+        assert injector is not None
+        assert injector.scope == "worker-3"
+        assert injector.incarnation == 2
+        uninstall()
+        assert maybe_install_from_env(
+            environ={CHAOS_PLAN_ENV: str(tmp_path / "missing.json")}) is None
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / CircuitBreaker
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_success_needs_no_sleep(self):
+        slept = []
+        assert RetryPolicy(retries=3).call(
+            lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ConnectionError("boom")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(retries=5, base_delay_s=0.01, seed=0)
+        assert policy.call(flaky, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_exhaustion_raises_retry_error_with_cause(self):
+        policy = RetryPolicy(retries=2, base_delay_s=0.0)
+        with pytest.raises(RetryError) as excinfo:
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("root")),
+                        sleep=lambda _: None)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert "3 attempts" in str(excinfo.value)
+
+    def test_non_retryable_propagates_raw(self):
+        with pytest.raises(KeyError):
+            RetryPolicy(retries=3).call(
+                lambda: (_ for _ in ()).throw(KeyError("nope")),
+                retryable=(ConnectionError,), sleep=lambda _: None)
+
+    def test_deadline_stops_early(self):
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise ConnectionError("down")
+
+        policy = RetryPolicy(retries=100, base_delay_s=10.0,
+                             max_delay_s=10.0, deadline_s=0.05)
+        with pytest.raises(RetryError):
+            policy.call(failing, sleep=lambda _: None)
+        # The first 10s backoff already overruns the 50ms deadline.
+        assert len(attempts) == 1
+
+    def test_seeded_delays_are_reproducible_and_bounded(self):
+        policy = RetryPolicy(retries=6, base_delay_s=0.05, max_delay_s=0.4,
+                             seed=123)
+        first, second = list(policy.delays()), list(policy.delays())
+        assert first == second
+        assert len(first) == 6
+        assert all(0.0 <= delay <= 0.4 for delay in first)
+        pure = RetryPolicy(retries=3, base_delay_s=0.1, max_delay_s=10.0,
+                           jitter="none")
+        assert list(pure.delays()) == [0.1, 0.2, 0.4]
+
+    def test_on_retry_observes_each_backoff(self):
+        seen = []
+        policy = RetryPolicy(retries=2, base_delay_s=0.01, seed=1)
+        with pytest.raises(RetryError):
+            policy.call(lambda: (_ for _ in ()).throw(OSError("io")),
+                        on_retry=lambda exc, attempt, delay:
+                        seen.append((attempt, type(exc).__name__)),
+                        sleep=lambda _: None)
+        assert seen == [(1, "OSError"), (2, "OSError")]
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, cooldown=10.0):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 cooldown_s=cooldown,
+                                 clock=lambda: clock["now"])
+        return breaker, clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_allows_exactly_one_probe(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.allow()        # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()    # second caller is still shed
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 11.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+        breaker.record_failure()
+        breaker.record_failure()
+        clock["now"] = 22.0
+        assert breaker.allow()
+        breaker.record_failure()      # probe failed
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.to_dict()["state"] == "open"
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers
+# ----------------------------------------------------------------------
+class TestVerifyStore:
+    def test_healthy_store_passes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(fake_result("a"), tags=("x",))
+        store.put(fake_result("b"))
+        report = verify_store(store)
+        assert report.ok
+        assert report.check() is report
+        assert "invariants: ok" in report.summary()
+        assert report.to_dict()["ok"] is True
+
+    def test_corrupt_run_file_is_quarantined_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run = store.put(fake_result("a"))
+        store.put(fake_result("b"))
+        store.run_path(run.run_id).write_text("{torn")
+        report = verify_store(store)
+        assert report.ok
+        assert report.counters["corrupt_run_files"] == 1
+        assert report.counters["quarantined"] == 1
+        assert store.quarantined() == [run.run_id]
+        assert (store.quarantine_dir / f"{run.run_id}.json").exists()
+        # The quarantined run is out of the index; the healthy one stays.
+        assert store.run_ids() == [store.put(fake_result("b")).run_id]
+
+    def test_missing_run_file_is_a_violation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run = store.put(fake_result("a"))
+        store.run_path(run.run_id).unlink()
+        report = verify_store(store)
+        assert not report.ok
+        assert any("no run file" in violation
+                   for violation in report.violations)
+        assert "VIOLATED" in report.summary()
+        with pytest.raises(InvariantViolation):
+            report.check()
+
+    def test_unindexed_run_file_is_recovered(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(fake_result("a"))
+        run = store.put(fake_result("b"))
+        # Lose the index: only the run files remain (post-crash shape).
+        store.journal_path.write_text("")
+        store.index_path.unlink(missing_ok=True)
+        report = verify_store(store)
+        assert report.ok
+        assert report.counters["recovered_unindexed_runs"] == 2
+        assert run.run_id in store.run_ids()
+
+    def test_digest_is_content_addressed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FIXED_CREATED_AT_ENV, "1600000000.0")
+        first, second = (ResultStore(tmp_path / name) for name in ("a", "b"))
+        for store in (first, second):
+            store.put(fake_result("same"), tags=("t",))
+            store.compact_index()
+        assert store_digest(first) == store_digest(second)
+        second.put(fake_result("extra"))
+        second.compact_index()
+        assert store_digest(first) != store_digest(second)
+
+
+class TestVerifyQueue:
+    def test_done_record_without_stored_run_is_lost(self, tmp_path):
+        queue = WorkQueue(tmp_path / "queue")
+        store = ResultStore(tmp_path / "store")
+        queue.done_dir.mkdir(parents=True, exist_ok=True)
+        (queue.done_dir / "cell1.json").write_text(json.dumps(
+            {"key": "cell1", "run_id": "ghost-123", "worker": "w"}))
+        report = verify_queue(queue, store=store)
+        assert not report.ok
+        assert any("lost run" in violation
+                   for violation in report.violations)
+
+    def test_unknown_failure_kind_is_a_violation(self, tmp_path):
+        queue = WorkQueue(tmp_path / "queue")
+        queue.failed_dir.mkdir(parents=True, exist_ok=True)
+        (queue.failed_dir / "cell1.json").write_text(json.dumps(
+            {"key": "cell1", "kind": "gremlins", "error": "?"}))
+        report = verify_queue(queue)
+        assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# Crash-point sweep: SIGKILL a worker at every registered injection
+# point; takeover + supervision must lose nothing.
+# ----------------------------------------------------------------------
+def crash_sweep_study():
+    return make_study("sweep-cluster-sizes", sizes=(1, 2),
+                      devices_per_node=4, tokens_per_device=512, layers=1,
+                      iterations=2, warmup=1, seed=13)
+
+
+@pytest.mark.parametrize("point", WORKER_CRASH_POINTS)
+def test_worker_killed_at_point_loses_nothing(point, tmp_path, monkeypatch):
+    kind = "torn-write" if point == "store.mid-journal-line" else "crash"
+    plan = FaultPlan(name=f"kill-{point}", faults=(
+        FaultSpec(point=point, kind=kind, at=1),))
+    plan_path = plan.save(str(tmp_path / "plan.json"))
+    monkeypatch.setenv(CHAOS_PLAN_ENV, plan_path)
+    monkeypatch.setenv(FIXED_CREATED_AT_ENV, "1600000000.0")
+    store = ResultStore(tmp_path / "store")
+    report = launch_fleet(crash_sweep_study(), store, workers=2,
+                          lease_timeout=1.0, poll_interval=0.05,
+                          queue_root=tmp_path / "queue",
+                          check=False, respawn_limit=2)
+    assert report.failures == []
+    assert len(report.executed) == 2
+    verify_store(store).check()
+    verify_queue(tmp_path / "queue", store=store).check()
+    assert len(store) == 2
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+class TestChaosPlans:
+    def test_build_plan_is_deterministic_and_validates(self):
+        assert build_plan("worker-crash", seed=4) == \
+            build_plan("worker-crash", seed=4)
+        assert len(build_plan("worker-crash").faults) == \
+            len(WORKER_CRASH_POINTS)
+        with pytest.raises(ValueError, match="unknown chaos plan"):
+            build_plan("meteor-strike")
+        assert set(PLAN_NAMES) == {"worker-crash", "torn-journal",
+                                   "serve-degradation"}
+
+    def test_run_chaos_rejects_nonempty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(fake_result("occupied"))
+        with pytest.raises(ValueError, match="already holds"):
+            run_chaos("torn-journal", store.root)
+
+    def test_torn_journal_heals_and_nofault_digest_matches(self, tmp_path):
+        injected = run_chaos("torn-journal", tmp_path / "faulted",
+                             seed=3, quick=True)
+        assert injected.ok, injected.summary()
+        assert injected.invariants.counters["quarantined"] >= 1
+        assert injected.invariants.counters["journal_skipped_lines"] >= 1
+        assert "invariants: ok" in injected.summary()
+
+        clean = run_chaos("torn-journal", tmp_path / "clean",
+                          seed=3, quick=True, inject_faults=False)
+        assert clean.ok
+        # The no-op acceptance: faults changed nothing observable.
+        assert clean.digest == injected.digest
+
+        saved = injected.save(tmp_path / "report.json")
+        payload = json.loads(saved.read_text())
+        assert payload["ok"] is True and payload["plan"] == "torn-journal"
+
+    def test_chaos_report_summary_flags_failures(self):
+        report = ChaosReport(plan="worker-crash", seed=0, injected=True,
+                             quick=False, store_root="s")
+        report.failures.append("lost a run")
+        assert not report.ok
+        assert "FAIL" in report.summary()

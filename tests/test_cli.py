@@ -740,3 +740,71 @@ class TestSuiteCommands:
                      "--store", str(tmp_path / "store"), "--budget", "0"])
         assert code == 2
         assert "--budget" in capsys.readouterr().err
+
+
+class TestChaosCommands:
+    def test_chaos_plans_lists_builtins(self, capsys):
+        assert main(["chaos", "plans"]) == 0
+        out = capsys.readouterr().out
+        assert "worker-crash" in out
+        assert "serve-degradation" in out
+
+    def test_chaos_points_lists_registry(self, capsys):
+        assert main(["chaos", "points"]) == 0
+        out = capsys.readouterr().out
+        assert "queue.post-claim" in out
+        assert "store.mid-journal-line" in out
+
+    def test_chaos_run_torn_journal_quick(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        report_path = tmp_path / "report.json"
+        code = main(["chaos", "run", "--plan", "torn-journal", "--quick",
+                     "--store", str(tmp_path / "scratch"),
+                     "--report", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "invariants: ok" in out
+        assert "chaos result: PASS" in out
+        assert report_path.exists()
+
+    def test_chaos_run_refuses_foreign_directory(self, tmp_path, capsys):
+        victim = tmp_path / "precious"
+        victim.mkdir()
+        (victim / "data.txt").write_text("keep me")
+        code = main(["chaos", "run", "--plan", "torn-journal",
+                     "--store", str(victim)])
+        assert code == 2
+        assert "refusing to wipe" in capsys.readouterr().err
+        assert (victim / "data.txt").exists()
+
+
+class TestStorePruneCommand:
+    def test_prune_requires_a_bound(self, tmp_path, capsys):
+        assert main(["store", "prune", "--store", str(tmp_path)]) == 2
+        assert "--older-than" in capsys.readouterr().err
+
+    def test_prune_and_dry_run(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(TestStudyCommands.RUN_ARGS
+                    + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["store", "prune", "--store", str(store),
+                     "--max-runs", "1", "--dry-run"]) == 0
+        assert "would delete 1 run(s)" in capsys.readouterr().out
+        assert main(["store", "prune", "--store", str(store),
+                     "--max-runs", "1"]) == 0
+        assert "pruned 1 run(s)" in capsys.readouterr().out
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine: 0 run(s)" in out  # the new ls counters line
+
+
+class TestSubmitRetryFlags:
+    def test_retries_flag_builds_a_policy_and_still_fails_cleanly(
+            self, capsys):
+        code = main(["submit", "--address", "127.0.0.1:1", "--status",
+                     "--retries", "1", "--retry-deadline", "0.2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unreachable" in err

@@ -517,3 +517,32 @@ class TestLaunchFleet:
         payload = json.dumps(report.to_dict())
         assert "tiny-fleet" in payload
         assert "worker-1=2" in report.worker_summary()
+
+
+class TestSupervisedRespawn:
+    def test_crashed_worker_is_respawned_and_recorded(self, tmp_path,
+                                                      monkeypatch):
+        from repro.chaos import CHAOS_PLAN_ENV, FaultPlan, FaultSpec
+
+        plan = FaultPlan(name="kill-w1", faults=(
+            FaultSpec(point="worker.pre-run", kind="crash", at=1,
+                      scope="worker-1"),))
+        monkeypatch.setenv(CHAOS_PLAN_ENV,
+                           plan.save(str(tmp_path / "plan.json")))
+        store = ResultStore(tmp_path / "store")
+        report = launch_fleet(tiny_study(), store, workers=2,
+                              lease_timeout=1.0, poll_interval=0.05,
+                              queue_root=tmp_path / "queue",
+                              respawn_limit=2)
+        assert report.respawns.get("worker-1", 0) >= 1
+        assert report.failures == []
+        assert len(report.executed) == 2
+        assert "respawns:" in report.summary()
+        assert report.to_dict()["respawns"] == report.respawns
+
+    def test_no_respawns_keeps_summary_format(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        report = launch_fleet(tiny_study(), store, workers=1,
+                              poll_interval=0.05)
+        assert report.respawns == {}
+        assert "respawns:" not in report.summary()

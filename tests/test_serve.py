@@ -555,3 +555,94 @@ class TestCrashSafety:
             assert again["cache"] == "hit"
         finally:
             app.drain()
+
+
+# ----------------------------------------------------------------------
+# Degradation: stuck queues, fallback, health, client retry
+# ----------------------------------------------------------------------
+class TestQueueStuckAndFallback:
+    def test_stuck_queue_fails_the_future_with_queue_stuck(self, store,
+                                                           tmp_path):
+        from repro.serve import FleetQueueExecutor, QueueStuck
+
+        executor = FleetQueueExecutor(
+            store, WorkQueue(tmp_path / "queue", lease_timeout=0.3),
+            poll_interval=0.05, stuck_timeout=0.3)
+        try:
+            future = executor.submit(serve_spec(name="stuck"))
+            with pytest.raises(QueueStuck):
+                future.result(timeout=10)
+        finally:
+            executor.shutdown()
+
+    def test_fallback_executor_degrades_and_recovers_results(self, store,
+                                                             tmp_path):
+        from repro.chaos import CircuitBreaker
+        from repro.serve import (
+            FallbackExecutor,
+            FleetQueueExecutor,
+            PoolExecutor,
+        )
+
+        primary = FleetQueueExecutor(
+            store, WorkQueue(tmp_path / "queue", lease_timeout=0.3),
+            poll_interval=0.05, stuck_timeout=0.3)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=3600.0)
+        executor = FallbackExecutor(primary, PoolExecutor(store), breaker)
+        try:
+            first = executor.submit(serve_spec(name="deg-0")).result(
+                timeout=30)
+            assert first.run_id in store.run_ids()
+            assert breaker.state == "open"
+            # Breaker open: the second submission skips the queue entirely.
+            executor.submit(serve_spec(name="deg-1")).result(timeout=30)
+            assert executor.fell_back == 2
+            health = executor.health()
+            assert health["degraded"] is True
+            assert health["fallback"]["ok"] is True
+        finally:
+            executor.shutdown()
+        assert len(store) == 2
+
+    def test_health_endpoint_over_http(self, tmp_path):
+        with ReproServer(tmp_path / "store", port=0) as server:
+            client = ServeClient(server.address)
+            try:
+                status, body = client.health()
+            finally:
+                client.close()
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["store"]["ok"] is True
+        assert body["executor"]["kind"] == "pool"
+
+    def test_client_retry_rides_out_injected_drops(self, tmp_path):
+        from repro.chaos import (
+            FaultInjector,
+            FaultPlan,
+            FaultSpec,
+            RetryPolicy,
+            install,
+            uninstall,
+        )
+
+        with ReproServer(tmp_path / "store", port=0) as server:
+            client = ServeClient(
+                server.address, client="retry-test",
+                retry=RetryPolicy(retries=4, base_delay_s=0.01,
+                                  max_delay_s=0.05, seed=0))
+            client.wait_ready()
+            install(FaultInjector(FaultPlan(name="drops", faults=(
+                FaultSpec(point="serve.client-request", kind="drop",
+                          at=1, times=2),))))
+            try:
+                reply = client.submit(serve_spec(name="dropped"))
+            finally:
+                uninstall()
+                client.close()
+            assert reply.done
+
+    def test_client_without_retry_still_fails_fast(self):
+        client = ServeClient("127.0.0.1:1")
+        with pytest.raises(ServeUnavailable):
+            client.status()

@@ -486,3 +486,79 @@ class TestIndexReadCache:
 
     def test_index_entry_missing_run_is_none(self, tmp_path):
         assert ResultStore(tmp_path).index_entry("nope") is None
+
+
+class TestPruneAndQuarantine:
+    def seeded(self, tmp_path):
+        """Five runs with spaced timestamps; the oldest is baseline-tagged."""
+        store = ResultStore(tmp_path)
+        day = 86400.0
+        store.put(fake_result("exp-0"), tags=("baseline",), created_at=0.0)
+        for index in range(1, 5):
+            store.put(fake_result(f"exp-{index}"), created_at=index * day)
+        return store, day
+
+    def test_prune_by_age_spares_protected_runs(self, tmp_path):
+        store, day = self.seeded(tmp_path)
+        deleted = store.prune(older_than_days=2.5, now=5 * day)
+        # exp-1 and exp-2 are older than 2.5 days; baseline exp-0 survives.
+        assert len(deleted) == 2
+        names = {entry.name for entry in store.entries()}
+        assert names == {"exp-0", "exp-3", "exp-4"}
+
+    def test_prune_by_count_keeps_newest(self, tmp_path):
+        store, day = self.seeded(tmp_path)
+        deleted = store.prune(max_runs=2, now=5 * day)
+        assert len(deleted) == 3
+        assert {entry.name for entry in store.entries()} == \
+            {"exp-0", "exp-4"}  # protected + the newest unprotected
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        store, day = self.seeded(tmp_path)
+        doomed = store.prune(max_runs=2, now=5 * day, dry_run=True)
+        assert len(doomed) == 3
+        assert len(store) == 5
+
+    def test_prune_compacts_the_index(self, tmp_path):
+        store, day = self.seeded(tmp_path)
+        store.prune(max_runs=3, now=5 * day)
+        assert store.journal_path.read_text() == ""
+
+    def test_journal_skipped_lines_counts_garbage(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(fake_result("exp-0"), created_at=0.0)
+        assert store.journal_skipped_lines() == 0
+        with open(store.journal_path, "a") as handle:
+            handle.write('{"torn": ')
+        assert store.journal_skipped_lines() == 1
+        assert len(store.entries()) == 1  # the good line still serves
+
+    def test_quarantine_run_moves_file_and_writes_report(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run = store.put(fake_result("exp-0"), created_at=0.0)
+        store.run_path(run.run_id).write_text("{nope")
+        moved = store.quarantine_run(run.run_id, error="torn write")
+        assert moved == store.quarantine_dir / f"{run.run_id}.json"
+        assert not store.run_path(run.run_id).exists()
+        report = json.loads(
+            (store.quarantine_dir
+             / f"{run.run_id}.report.json").read_text())
+        assert report["error"] == "torn write"
+        assert store.quarantined() == [run.run_id]
+
+    def test_rebuild_index_quarantines_unreadable_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = store.put(fake_result("exp-0"), created_at=0.0)
+        good = store.put(fake_result("exp-1"), created_at=1.0)
+        store.run_path(bad.run_id).write_text("{nope")
+        assert store.rebuild_index() == 1
+        assert store.run_ids() == [good.run_id]
+        assert store.quarantined() == [bad.run_id]
+
+    def test_fixed_created_at_env_pins_timestamps(self, tmp_path,
+                                                  monkeypatch):
+        from repro.store import FIXED_CREATED_AT_ENV
+        monkeypatch.setenv(FIXED_CREATED_AT_ENV, "1234.5")
+        store = ResultStore(tmp_path)
+        run = store.put(fake_result("exp-0"))
+        assert store.index_entry(run.run_id).created_at == 1234.5
