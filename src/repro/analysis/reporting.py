@@ -136,6 +136,27 @@ def format_study_report(title: str,
     return "\n".join(parts).rstrip() + "\n"
 
 
+PHASE_COLUMNS = ("phase", "count", "total_ms", "mean_ms", "share")
+
+
+def format_phase_breakdown(rows: Sequence[Mapping[str, object]],
+                           title: str | None = "Phase breakdown") -> str:
+    """Render telemetry phase rows (``repro.telemetry.phase_breakdown``).
+
+    Expects mappings with ``phase``/``count``/``total_ms``/``mean_ms``/
+    ``share`` keys; the share (fraction of the traced wall interval) is
+    shown as a percentage.  Nested spans overlap, so shares need not sum
+    to 100%.
+    """
+    formatted = [{
+        **{col: row.get(col, "") for col in PHASE_COLUMNS},
+        "share": (f"{row['share'] * 100:.1f}%"
+                  if isinstance(row.get("share"), (int, float))
+                  else str(row.get("share", ""))),
+    } for row in rows]
+    return format_table(formatted, columns=list(PHASE_COLUMNS), title=title)
+
+
 def print_report(*blocks: str) -> None:
     """Print report blocks separated by blank lines (helper for benchmarks)."""
     print()

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.chaos.injection import (
     CHAOS_PLAN_ENV,
+    FAULT_POINTS,
     WORKER_CRASH_POINTS,
     FaultInjector,
     FaultPlan,
@@ -55,6 +56,7 @@ from repro.chaos.injection import (
     install,
     uninstall,
 )
+from repro.telemetry.metrics import gauge as _metrics_gauge
 from repro.chaos.retry import CircuitBreaker, RetryPolicy
 from repro.chaos.verify import (
     InvariantReport,
@@ -89,6 +91,16 @@ MIN_KILLED_POINTS = 6
 #: fault-free executions of the same plan produce byte-identical stores.
 _FIXED_EPOCH = 1_600_000_000.0
 
+# Chaos coverage as a tracked metric: how many of the registered protocol
+# points the most recent plan run actually exercised (ROADMAP item 6
+# follow-up; CI greps the matching summary line).
+_M_POINTS_REGISTERED = _metrics_gauge(
+    "repro_chaos_points_registered",
+    "fault-injection protocol points registered in the codebase")
+_M_POINTS_EXERCISED = _metrics_gauge(
+    "repro_chaos_points_exercised",
+    "distinct protocol points exercised by the last chaos run")
+
 
 @dataclass
 class ChaosReport:
@@ -104,6 +116,7 @@ class ChaosReport:
         default_factory=lambda: InvariantReport(subject="chaos"))
     failures: List[str] = field(default_factory=list)
     counters: Dict[str, int] = field(default_factory=dict)
+    points_exercised: List[str] = field(default_factory=list)
     digest: str = ""
     elapsed_s: float = 0.0
 
@@ -114,15 +127,28 @@ class ChaosReport:
     def count(self, key: str, amount: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + amount
 
+    def exercised(self, *points: str) -> None:
+        """Record protocol points this run demonstrably reached."""
+        for point in points:
+            if point not in self.points_exercised:
+                self.points_exercised.append(point)
+
+    @property
+    def coverage(self) -> "tuple[int, int]":
+        """``(exercised, registered)`` protocol-point coverage."""
+        return len(set(self.points_exercised)), len(FAULT_POINTS)
+
     def summary(self) -> str:
         mode = "on" if self.injected else "off"
         extras = ", ".join(f"{key}={value}" for key, value
                            in sorted(self.counters.items()))
         extras = f"; {extras}" if extras else ""
+        exercised, registered = self.coverage
         lines = [
             f"chaos plan '{self.plan}' (seed {self.seed}, injection {mode}"
             f"{', quick' if self.quick else ''}): "
             f"{len(self.rounds)} round(s){extras}",
+            f"chaos coverage: {exercised}/{registered} point(s) exercised",
             self.invariants.summary(),
             f"store digest {self.digest}" if self.digest else "store digest -",
         ]
@@ -142,6 +168,8 @@ class ChaosReport:
             "invariants": self.invariants.to_dict(),
             "failures": list(self.failures),
             "counters": dict(self.counters),
+            "points_exercised": sorted(set(self.points_exercised)),
+            "points_registered": len(FAULT_POINTS),
             "digest": self.digest, "elapsed_s": self.elapsed_s,
         }
 
@@ -289,6 +317,7 @@ def _run_worker_crash(report: ChaosReport, store: ResultStore,
     if inject_faults:
         distinct = len(set(killed_points))
         report.count("points_killed", distinct)
+        report.exercised(*killed_points)
         if distinct < MIN_KILLED_POINTS:
             report.failures.append(
                 f"workers were killed at only {distinct} distinct protocol "
@@ -351,6 +380,12 @@ def _run_torn_journal(report: ChaosReport, store: ResultStore,
                 report.failures.append(
                     f"expected {key} >= {minimum} after the fault run, "
                     f"got {first.counters.get(key, 0)}")
+        # The verified damage is the evidence the faults actually fired
+        # at their protocol points -- count them as exercised coverage.
+        if first.counters.get("corrupt_run_files", 0):
+            report.exercised("store.post-run-file")
+        if first.counters.get("journal_skipped_lines", 0):
+            report.exercised("store.mid-journal-line")
         log("verified: " + ", ".join(
             f"{key}={value}" for key, value in sorted(first.counters.items())))
 
@@ -450,6 +485,8 @@ def _run_serve_degradation(report: ChaosReport, store: ResultStore,
                 injector = active()
                 report.count("client_drops",
                              len(injector.fired) if injector else 0)
+                if injector is not None and injector.fired:
+                    report.exercised("serve.client-request")
                 uninstall()
         if not reply.done:
             report.failures.append(
@@ -528,4 +565,7 @@ def run_chaos(plan: str, store_root: Union[str, Path], seed: int = 0,
                             emit)
     report.elapsed_s = time.time() - started
     report.digest = store_digest(store)
+    exercised, registered = report.coverage
+    _M_POINTS_EXERCISED.set(exercised)
+    _M_POINTS_REGISTERED.set(registered)
     return report

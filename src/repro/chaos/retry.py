@@ -8,7 +8,9 @@ degradation switch: after enough consecutive failures it opens (callers
 skip the failing dependency entirely) and half-opens after a cooldown to
 probe for recovery.
 
-Stdlib-only; importable from anywhere in the stack.
+Importable from anywhere in the stack: besides the stdlib it only
+touches :mod:`repro.telemetry.metrics` (itself stdlib-only), which
+tracks attempt and breaker-transition counts.
 """
 
 from __future__ import annotations
@@ -19,7 +21,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Type
 
+from repro.telemetry.metrics import counter as _metrics_counter
+
 __all__ = ["RetryPolicy", "RetryError", "CircuitBreaker", "CircuitOpen"]
+
+_M_ATTEMPTS = _metrics_counter(
+    "repro_retry_attempts_total",
+    "RetryPolicy call attempts (first tries included)")
+_M_RETRIES = _metrics_counter(
+    "repro_retry_backoffs_total",
+    "retries that actually backed off and re-called")
+_M_TRANSITIONS = _metrics_counter(
+    "repro_breaker_transitions_total",
+    "circuit breaker state changes, labeled by destination state")
 
 
 class RetryError(RuntimeError):
@@ -86,6 +100,7 @@ class RetryPolicy:
         last: Optional[BaseException] = None
         delay_iter = self.delays()
         for attempt in range(self.retries + 1):
+            _M_ATTEMPTS.inc()
             try:
                 return fn()
             except retryable as exc:  # noqa: PERF203 - retry loop
@@ -99,6 +114,7 @@ class RetryPolicy:
                         break
                 if on_retry is not None:
                     on_retry(exc, attempt + 1, delay)
+                _M_RETRIES.inc()
                 if delay > 0:
                     sleep(delay)
         raise RetryError(
@@ -143,6 +159,7 @@ class CircuitBreaker:
                 if self.clock() - self._opened_at >= self.cooldown_s:
                     self._state = "half-open"
                     self._probing = True
+                    _M_TRANSITIONS.inc(to="half-open")
                     return True
                 return False
             # half-open: only the single probe call is in flight.
@@ -153,6 +170,8 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
+            if self._state != "closed":
+                _M_TRANSITIONS.inc(to="closed")
             self._state = "closed"
             self._failures = 0
             self._probing = False
@@ -162,6 +181,8 @@ class CircuitBreaker:
             self._failures += 1
             if self._state == "half-open" or \
                     self._failures >= self.failure_threshold:
+                if self._state != "open":
+                    _M_TRANSITIONS.inc(to="open")
                 self._state = "open"
                 self._opened_at = self.clock()
                 self._probing = False

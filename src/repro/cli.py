@@ -7,6 +7,17 @@ Provides quick access to the most common workflows without writing Python:
 * ``repro scenarios`` -- print the registered routing scenarios;
 * ``repro trace`` -- generate (and optionally save) a synthetic routing trace
   and print its summary statistics;
+* ``repro trace record|export`` -- observability (see
+  :mod:`repro.telemetry`): re-run any repro command with the cross-process
+  tracer armed, collecting span events from the coordinator and every
+  worker process it spawns, then merge the per-process event files and
+  export Chrome trace-event JSON (viewable in Perfetto or
+  chrome://tracing) plus a per-phase time breakdown::
+
+      repro trace record --dir .repro-trace -- fleet run \
+        sweep-cluster-sizes --store ./study-store --workers 2
+      repro trace export --dir .repro-trace --output trace.json
+
 * ``repro compare`` -- simulate the compared training systems on a
   model/cluster/scenario combination and print throughput, speedups and the
   time breakdown;
@@ -45,15 +56,17 @@ Provides quick access to the most common workflows without writing Python:
       repro suite search suites/default-v1.json --store ./suite-store \
         --target static_ep --budget 16 --graduate suites/default-v2.json
 
-* ``repro fleet run|status|workers`` -- multi-process sweep execution: the
-  same grid, drained by N cooperating worker processes through a file-based
-  work queue (lease files with heartbeats; crashed workers' cells are
-  reclaimed) into one shared store (safe: the store's index is an
-  append-only journal)::
+* ``repro fleet run|status|workers|watch`` -- multi-process sweep
+  execution: the same grid, drained by N cooperating worker processes
+  through a file-based work queue (lease files with heartbeats; crashed
+  workers' cells are reclaimed) into one shared store (safe: the store's
+  index is an append-only journal); ``watch`` is a live view of queue
+  depth, per-worker heartbeat ages and the completed-cell rate::
 
       repro fleet run sweep-cluster-sizes --store ./study-store --workers 4
       repro fleet status  --store ./study-store
       repro fleet workers --store ./study-store
+      repro fleet watch   --store ./study-store --interval 2
 
   ``repro study run --workers N`` is a shortcut for ``fleet run``.
 
@@ -62,7 +75,8 @@ Provides quick access to the most common workflows without writing Python:
   from the result cache -- the content-hashed run id is the memo key, so
   anything ever stored is a cache hit; misses run once on a resident
   executor, and identical concurrent submissions coalesce onto a single
-  execution (see :mod:`repro.serve`)::
+  execution (see :mod:`repro.serve`); the unified metrics registry is
+  scrapeable in Prometheus text format at ``GET /metrics``::
 
       repro serve --store ./study-store --port 8351
       repro serve --store ./study-store --unix-socket /tmp/repro.sock
@@ -76,7 +90,9 @@ Provides quick access to the most common workflows without writing Python:
 
 * ``repro store ls|compact|rebuild`` -- store maintenance without Python
   one-liners: list stored runs, fold the append-only index journal into
-  ``index.json``, or regenerate the index from the run files (the truth).
+  ``index.json``, or regenerate the index from the run files (the truth);
+  ``ls --stats`` also reports the store's telemetry counters (index cache
+  hits/misses, journal lines, auto-compactions) from the metrics registry.
 
 Exit codes (uniform across commands): **0** success; **1** execution or
 gate failure (a submitted run failed, ``study gate`` tripped, a fleet cell
@@ -101,6 +117,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 import time
@@ -108,6 +125,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import (
+    format_phase_breakdown,
     format_run_diff,
     format_study_report,
     format_table,
@@ -156,6 +174,20 @@ from repro.study import (
     make_study,
     study_descriptions,
 )
+from repro.telemetry.metrics import REGISTRY as METRICS_REGISTRY
+from repro.telemetry.trace import (
+    TRACE_DIR_ENV,
+    TRACE_ID_ENV,
+    TRACE_PARENT_ENV,
+    Tracer,
+    export_chrome_trace,
+    export_env as trace_export_env,
+    install as trace_install,
+    phase_breakdown,
+    read_events,
+    span as trace_span,
+    uninstall as trace_uninstall,
+)
 from repro.sim.iteration import DROP_POLICIES
 from repro.suite import (
     SuiteCharacterization,
@@ -191,11 +223,43 @@ def build_parser() -> argparse.ArgumentParser:
                            help="also print each scenario's parameters with "
                                 "types and defaults")
 
-    trace = sub.add_parser("trace", help="generate a synthetic routing trace")
+    trace = sub.add_parser(
+        "trace",
+        help="generate a synthetic routing trace, or record/export a "
+             "cross-process telemetry trace")
     _add_common_workload_args(trace)
     trace.add_argument("--iterations", type=int, default=20)
     trace.add_argument("--output", type=str, default=None,
                        help="optional .npz path to save the trace to")
+    # Optional subcommands: plain `repro trace` keeps its original
+    # synthetic-routing-trace behaviour (trace_command is None then).
+    trsub = trace.add_subparsers(
+        dest="trace_command", required=False, metavar="{record,export}",
+        help="telemetry tracing (omit for the synthetic routing trace)")
+    trace_record = trsub.add_parser(
+        "record",
+        help="run a repro command with the tracer armed, collecting span "
+             "events from every process it spawns")
+    trace_record.add_argument("--dir", dest="trace_dir", type=str,
+                              default=".repro-trace", metavar="DIR",
+                              help="trace event directory "
+                                   "(default: .repro-trace)")
+    trace_record.add_argument("rest", nargs=argparse.REMAINDER,
+                              metavar="-- COMMAND ...",
+                              help="the repro command line to trace, e.g. "
+                                   "-- fleet run sweep-cluster-sizes ...")
+    trace_export = trsub.add_parser(
+        "export",
+        help="merge recorded span events into Chrome trace-event JSON "
+             "plus a per-phase time breakdown")
+    trace_export.add_argument("--dir", dest="trace_dir", type=str,
+                              default=".repro-trace", metavar="DIR",
+                              help="trace event directory "
+                                   "(default: .repro-trace)")
+    trace_export.add_argument("--output", type=str, default=None,
+                              metavar="PATH",
+                              help="Chrome trace JSON path "
+                                   "(default: <dir>/trace.json)")
 
     compare = sub.add_parser("compare", help="simulate the training systems")
     _add_common_workload_args(compare)
@@ -288,6 +352,11 @@ def build_parser() -> argparse.ArgumentParser:
     study_report.add_argument("--output", type=str, default=None,
                               help="write the markdown report to a file "
                                    "instead of stdout")
+    study_report.add_argument("--trace", type=str, default=None,
+                              metavar="DIR",
+                              help="telemetry trace directory (from 'repro "
+                                   "trace record') whose per-phase time "
+                                   "breakdown is appended as a section")
 
     study_gate = ssub.add_parser(
         "gate", help="exit nonzero when stored runs regressed vs a baseline")
@@ -415,6 +484,23 @@ def build_parser() -> argparse.ArgumentParser:
                                help="inspect one queue directory instead of "
                                     "every queue under the store")
 
+    fleet_watch = fsub.add_parser(
+        "watch", help="live queue depth, per-worker heartbeat ages and "
+                      "completed-cell rate")
+    _add_store_arg(fleet_watch, required=False)
+    fleet_watch.add_argument("--queue", type=str, default=None, metavar="DIR",
+                             help="watch one queue directory instead of "
+                                  "every queue under the store")
+    fleet_watch.add_argument("--interval", type=float, default=2.0,
+                             metavar="SECONDS",
+                             help="refresh interval (default: 2)")
+    fleet_watch.add_argument("--once", action="store_true",
+                             help="print a single snapshot and exit")
+    fleet_watch.add_argument("--duration", type=float, default=None,
+                             metavar="SECONDS",
+                             help="stop watching after SECONDS even while "
+                                  "the queues are still running")
+
     serve = sub.add_parser(
         "serve", help="serve specs from the result cache (long-lived daemon)")
     _add_store_arg(serve)
@@ -516,6 +602,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="filter by total device count")
     store_ls.add_argument("--tag", type=str, default=None,
                           help="filter by tag")
+    store_ls.add_argument("--stats", action="store_true",
+                          help="also print the store's telemetry counters "
+                               "(index cache hits/misses, journal lines, "
+                               "auto-compactions) from the metrics registry")
 
     store_compact = stsub.add_parser(
         "compact", help="fold the append-only index journal into index.json")
@@ -745,6 +835,11 @@ def _check_scenario_buildable(spec: ExperimentSpec) -> None:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    command = getattr(args, "trace_command", None)
+    if command == "record":
+        return cmd_trace_record(args)
+    if command == "export":
+        return cmd_trace_export(args)
     spec = _spec_or_error(args, warmup=0)
     if spec is None:
         return 2
@@ -756,6 +851,81 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if args.output:
         path = save_trace(trace, args.output)
         print(f"Trace saved to {path}")
+    return 0
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """Re-enter ``main`` with the telemetry tracer armed around the command.
+
+    The root span is exported to the environment before the command runs,
+    so any fleet workers it spawns parent their spans into this trace and
+    write their own event files next to the coordinator's.
+    """
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("error: pass the repro command to trace, e.g. "
+              "'repro trace record -- fleet run sweep-cluster-sizes ...'",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("error: refusing to trace the trace command itself",
+              file=sys.stderr)
+        return 2
+    trace_dir = Path(args.trace_dir)
+    saved = {name: os.environ.get(name)
+             for name in (TRACE_DIR_ENV, TRACE_ID_ENV, TRACE_PARENT_ENV)}
+    tracer = trace_install(Tracer(trace_dir, scope="coordinator"))
+    try:
+        with trace_span(f"cli.{rest[0]}", argv=" ".join(rest)):
+            trace_export_env()
+            code = main(rest)
+    finally:
+        trace_uninstall()
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    try:
+        (trace_dir / "metrics.json").write_text(
+            METRICS_REGISTRY.snapshot_json(), encoding="utf-8")
+    except OSError as error:
+        print(f"warning: cannot write metrics snapshot: {error}",
+              file=sys.stderr)
+    events = read_events(trace_dir)
+    spans = sum(1 for event in events if event.get("type") == "span")
+    pids = {event.get("pid") for event in events}
+    print(f"trace: {spans} span(s) from {len(pids)} process(es) in "
+          f"{trace_dir} (trace id {tracer.trace_id})")
+    print(f"view with: repro trace export --dir {trace_dir}")
+    return code
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    trace_dir = Path(args.trace_dir)
+    if not trace_dir.is_dir():
+        print(f"error: no trace directory at {args.trace_dir!r}",
+              file=sys.stderr)
+        return 2
+    events = read_events(trace_dir)
+    if not events:
+        print(f"error: no trace events under {trace_dir}", file=sys.stderr)
+        return 2
+    output = Path(args.output) if args.output else trace_dir / "trace.json"
+    try:
+        export_chrome_trace(events, output)
+    except OSError as error:
+        print(f"error: cannot write {output}: {error}", file=sys.stderr)
+        return 2
+    spans = sum(1 for event in events if event.get("type") == "span")
+    pids = {event.get("pid") for event in events}
+    print(f"wrote {spans} Chrome trace event(s) from {len(pids)} "
+          f"process(es) to {output}")
+    rows = phase_breakdown(events)
+    if rows:
+        print_report(format_phase_breakdown(rows))
     return 0
 
 
@@ -1018,6 +1188,16 @@ def cmd_study_report(args: argparse.Namespace) -> int:
                 })
         sections[f"Regressions vs {args.baseline!r}"] = (
             regression_rows or [{"status": "none detected"}])
+    if getattr(args, "trace", None):
+        trace_root = Path(args.trace)
+        events = read_events(trace_root) if trace_root.is_dir() else []
+        if not events:
+            print(f"error: no trace events under {args.trace!r}",
+                  file=sys.stderr)
+            return 2
+        sections["Phase breakdown (traced)"] = [
+            {**row, "share": f"{row['share'] * 100:.1f}%"}
+            for row in phase_breakdown(events)]
     title = args.study or f"runs in {store.root}"
     tagged = (" tagged " + " and ".join(f"`{t}`" for t in tags)) if tags else ""
     intro = f"{len(entries)} stored run(s){tagged}."
@@ -1221,6 +1401,55 @@ def cmd_fleet_workers(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet_watch(args: argparse.Namespace) -> int:
+    """Periodic fleet snapshot: queue depth, leases, completed-cell rate."""
+    queues = _fleet_queues(args)
+    if queues is None:
+        return 2
+    if not queues:
+        print("no fleet queues to watch")
+        return 0
+    started = time.time()
+    last_finished: Optional[int] = None
+    last_time = started
+    while True:
+        now = time.time()
+        total = pending = leased = done = failed = 0
+        leases = []
+        for queue in queues:
+            status = queue.status()
+            total += status.total
+            pending += status.pending
+            leased += status.leased
+            done += status.done
+            failed += status.failed
+            leases.extend((queue.root.name, lease)
+                          for lease in status.leases)
+        if last_finished is None:
+            rate = 0.0
+        else:
+            rate = (done + failed - last_finished) / max(now - last_time,
+                                                         1e-9)
+        last_finished, last_time = done + failed, now
+        print(f"fleet watch: {done}/{total} done, {failed} failed, "
+              f"{pending} pending, {leased} in flight, "
+              f"{rate:.2f} cell(s)/s ({len(queues)} queue(s), "
+              f"t+{now - started:.0f}s)", flush=True)
+        for queue_name, lease in sorted(leases,
+                                        key=lambda q: (q[0], q[1].worker)):
+            print(f"  {queue_name}: {lease.worker} -> {lease.key} "
+                  f"(heartbeat {lease.age(now):.1f}s ago)", flush=True)
+        drained = total > 0 and pending == 0 and leased == 0
+        if args.once:
+            return 0
+        if drained:
+            print("fleet watch: all queues drained", flush=True)
+            return 0
+        if args.duration is not None and now - started >= args.duration:
+            return 0
+        time.sleep(args.interval)
+
+
 # ----------------------------------------------------------------------
 # Serving tier and store maintenance
 # ----------------------------------------------------------------------
@@ -1345,6 +1574,23 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
             print(f"journal: {skipped} torn/skipped line(s); "
                   f"quarantine: {len(quarantined)} run(s)"
                   + (f" ({', '.join(quarantined)})" if quarantined else ""))
+            if getattr(args, "stats", False):
+                # Process-wide counters from the unified metrics registry
+                # (populated by the store operations this command just ran).
+                value = METRICS_REGISTRY.value
+                print(f"stats: index cache "
+                      f"{int(value('repro_store_index_cache_hits_total'))} "
+                      f"hit(s) / "
+                      f"{int(value('repro_store_index_cache_misses_total'))} "
+                      f"miss(es); journal "
+                      f"{int(value('repro_store_journal_lines'))} line(s) "
+                      f"({int(value('repro_store_journal_torn_lines'))} "
+                      f"torn), "
+                      f"{int(value('repro_store_journal_appends_total'))} "
+                      f"append(s); "
+                      f"{int(value('repro_store_auto_compactions_total'))} "
+                      f"auto-compaction(s); "
+                      f"{int(value('repro_store_puts_total'))} put(s)")
     return code
 
 
@@ -1616,6 +1862,7 @@ FLEET_COMMANDS = {
     "run": cmd_fleet_run,
     "status": cmd_fleet_status,
     "workers": cmd_fleet_workers,
+    "watch": cmd_fleet_watch,
 }
 
 

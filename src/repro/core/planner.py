@@ -21,6 +21,7 @@ from repro.core.cost_model import CostBreakdown, MoECostModel
 from repro.core.layout import ExpertLayout, static_ep_layout
 from repro.core.layout_tuner import ExpertLayoutTuner, TunerConfig
 from repro.core.lite_routing import lite_route
+from repro.telemetry.trace import span as _span
 
 
 @dataclass(frozen=True)
@@ -187,14 +188,18 @@ class LoadBalancingPlanner:
             routing = routing_by_layer[layer]
             planned = layer in self._pending_layouts
             layout = self.current_layout(layer)
-            plan = self.dispatch(routing, layout)
-            cost = self.cost_model.evaluate(plan)
+            # Telemetry phases (no-op spans while no tracer is armed).
+            with _span("planner.lite-route", layer=layer):
+                plan = self.dispatch(routing, layout)
+            with _span("planner.cost-eval", layer=layer):
+                cost = self.cost_model.evaluate(plan)
             plans.append(IterationPlan(layout=layout, routing_plan=plan,
                                        cost=cost, planned_from_history=planned))
             # Asynchronous part: feed the observation to the tuner so the next
             # iteration of this layer uses an updated layout.
-            self.observe(layer, routing)
-            self.tune_layout(layer)
+            with _span("planner.layout-tune", layer=layer):
+                self.observe(layer, routing)
+                self.tune_layout(layer)
         return plans
 
     def reset(self) -> None:

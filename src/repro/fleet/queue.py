@@ -43,6 +43,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.api.specs import ExperimentSpec
 from repro.chaos.injection import inject
 from repro.store.result_store import atomic_write_json
+from repro.telemetry.metrics import counter as _metrics_counter
+
+_M_CLAIMS = _metrics_counter(
+    "repro_queue_claims_total", "cell leases won by this process")
+_M_TAKEOVERS = _metrics_counter(
+    "repro_queue_lease_takeovers_total",
+    "expired leases reclaimed from dead workers by this process")
 
 #: Failure kinds recorded by :meth:`WorkQueue.fail` (mirrors the study
 #: runner's error taxonomy: cell simulation vs store persistence).
@@ -335,6 +342,7 @@ class WorkQueue:
                 except OSError:
                     return False  # another reclaimer won the rename
                 tombstone.unlink()
+                _M_TAKEOVERS.inc()
                 continue  # retry the exclusive create
             try:
                 # Chaos point: the lease file exists but carries no payload
@@ -344,6 +352,7 @@ class WorkQueue:
                 self._write_lease_fd(fd, key, worker)
             finally:
                 os.close(fd)
+            _M_CLAIMS.inc()
             return True
         return False
 

@@ -31,6 +31,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.api.runner import ExperimentRunner
 from repro.chaos.injection import inject, maybe_install_from_env
 from repro.fleet.queue import QueueStatus, QueuedCell, WorkQueue, cell_key
+from repro.telemetry import trace as telemetry_trace
+from repro.telemetry.metrics import counter as _metrics_counter
+from repro.telemetry.trace import span as _span
 from repro.store import ResultStore
 from repro.study.runner import (
     CellOutcome,
@@ -43,6 +46,13 @@ from repro.study.spec import StudySpec
 
 #: Queue subdirectory a study's fleet state lives in, under the store root.
 QUEUE_DIR_NAME = "queue"
+
+_M_RESPAWNS = _metrics_counter(
+    "repro_fleet_respawns_total",
+    "abnormally-exited workers respawned by the fleet supervisor")
+_M_CELLS_DONE = _metrics_counter(
+    "repro_fleet_cells_completed_total",
+    "cells executed to completion by workers in this process")
 
 
 def default_queue_root(store: ResultStore, study_name: str) -> Path:
@@ -119,28 +129,33 @@ class FleetWorker:
         beater.start()
         started = time.time()
         try:
-            inject("worker.pre-run", cell=cell.key, worker=self.worker_id)
-            try:
-                result = ExperimentRunner(parallel=False).run(cell.spec)
-            except Exception as error:  # deterministic cell failure
-                self.queue.fail(cell.key, self.worker_id,
-                                f"{type(error).__name__}: {error}",
-                                kind="cell")
-                report.failed.append(cell.cell_id)
+            with _span("worker.cell", cell=cell.cell_id,
+                       worker=self.worker_id):
+                inject("worker.pre-run", cell=cell.key,
+                       worker=self.worker_id)
+                try:
+                    result = ExperimentRunner(parallel=False).run(cell.spec)
+                except Exception as error:  # deterministic cell failure
+                    self.queue.fail(cell.key, self.worker_id,
+                                    f"{type(error).__name__}: {error}",
+                                    kind="cell")
+                    report.failed.append(cell.cell_id)
+                    return True
+                inject("worker.post-run", cell=cell.key,
+                       worker=self.worker_id)
+                try:
+                    stored = self.store.put(result, tags=cell.tags)
+                except Exception as error:  # store failure: abort the worker
+                    self.queue.fail(cell.key, self.worker_id,
+                                    f"{type(error).__name__}: {error}",
+                                    kind="store")
+                    report.failed.append(cell.cell_id)
+                    return False
+                self.queue.complete(cell.key, self.worker_id, stored.run_id,
+                                    seconds=time.time() - started)
+                report.executed.append(cell.cell_id)
+                _M_CELLS_DONE.inc()
                 return True
-            inject("worker.post-run", cell=cell.key, worker=self.worker_id)
-            try:
-                stored = self.store.put(result, tags=cell.tags)
-            except Exception as error:  # store failure: abort the worker
-                self.queue.fail(cell.key, self.worker_id,
-                                f"{type(error).__name__}: {error}",
-                                kind="store")
-                report.failed.append(cell.cell_id)
-                return False
-            self.queue.complete(cell.key, self.worker_id, stored.run_id,
-                                seconds=time.time() - started)
-            report.executed.append(cell.cell_id)
-            return True
         finally:
             stop.set()
             beater.join()
@@ -160,13 +175,22 @@ def _worker_entry(queue_root: str, store_root: str, worker_id: str,
 
     ``incarnation`` counts supervisor respawns of this worker id; it scopes
     chaos faults (see :func:`repro.chaos.maybe_install_from_env`) so a
-    respawned worker does not re-arm the fault that killed its predecessor.
+    respawned worker does not re-arm the fault that killed its predecessor,
+    and names the telemetry event file so a respawn never clobbers its
+    predecessor's trace.
     """
     maybe_install_from_env(scope=worker_id, incarnation=incarnation)
+    tracer = telemetry_trace.maybe_install_from_env(
+        scope=worker_id, incarnation=incarnation)
     worker = FleetWorker(WorkQueue(queue_root, lease_timeout=lease_timeout),
                          ResultStore(store_root), worker_id=worker_id,
                          poll_interval=poll_interval)
-    worker.run()
+    try:
+        with _span("worker.run", worker=worker_id, incarnation=incarnation):
+            worker.run()
+    finally:
+        if tracer is not None:
+            telemetry_trace.uninstall()
 
 
 @dataclass
@@ -344,48 +368,74 @@ def launch_fleet(study: StudySpec, store: ResultStore, workers: int = 2,
             process.start()
             processes[worker_id] = process
 
-        for worker_id in worker_ids:
-            spawn(worker_id)
-        try:
-            last_progress = 0.0
-            while True:
-                # Supervision pass: a worker that exited abnormally while
-                # cells remain outstanding is respawned (next incarnation)
-                # until its budget runs out -- its in-flight cell is safe
-                # either way (the lease expires and a survivor or the
-                # respawn itself takes it over).
-                for worker_id, process in list(processes.items()):
-                    if process.is_alive() or process.exitcode in (0, None):
-                        continue
-                    if (respawns.get(worker_id, 0) < respawn_limit
-                            and queue.outstanding()):
-                        process.join()
-                        respawns[worker_id] = respawns.get(worker_id, 0) + 1
-                        incarnations[worker_id] += 1
-                        spawn(worker_id)
-                if not any(p.is_alive() for p in processes.values()):
-                    break
-                if on_progress is not None and \
-                        time.time() - last_progress >= progress_interval:
-                    try:
-                        on_progress(queue.status())
-                    except Exception as error:
-                        # A broken progress consumer (closed pipe, caller
-                        # bug) must not abort a running fleet; drop the
-                        # callback and keep draining.
-                        warnings.warn(
-                            f"fleet progress callback failed "
-                            f"({type(error).__name__}: {error}); "
-                            f"progress reporting disabled", RuntimeWarning)
-                        on_progress = None
-                    last_progress = time.time()
-                time.sleep(min(poll_interval, 0.2))
-        finally:
-            # Never leave spawned workers orphaned: whatever unwinds the
-            # wait loop, the children are joined before control escapes
-            # (they exit on their own once every cell has an outcome).
-            for process in processes.values():
-                process.join()
+        # Children inherit the environment: point the trace context at the
+        # coordinator's fleet.run span so worker spans hang under it in the
+        # merged timeline.  The exported variables are restored afterwards
+        # so one traced fleet cannot bleed context into a later untraced
+        # one in the same process (no-op when no tracer is armed).
+        saved_trace_env = None
+        if telemetry_trace.active() is not None:
+            saved_trace_env = {
+                name: os.environ.get(name)
+                for name in (telemetry_trace.TRACE_DIR_ENV,
+                             telemetry_trace.TRACE_ID_ENV,
+                             telemetry_trace.TRACE_PARENT_ENV)}
+        with _span("fleet.run", study=study.name, workers=workers,
+                   cells=len(queued)):
+            telemetry_trace.export_env()
+            for worker_id in worker_ids:
+                spawn(worker_id)
+            try:
+                last_progress = 0.0
+                while True:
+                    # Supervision pass: a worker that exited abnormally
+                    # while cells remain outstanding is respawned (next
+                    # incarnation) until its budget runs out -- its
+                    # in-flight cell is safe either way (the lease expires
+                    # and a survivor or the respawn itself takes it over).
+                    for worker_id, process in list(processes.items()):
+                        if process.is_alive() or \
+                                process.exitcode in (0, None):
+                            continue
+                        if (respawns.get(worker_id, 0) < respawn_limit
+                                and queue.outstanding()):
+                            process.join()
+                            respawns[worker_id] = \
+                                respawns.get(worker_id, 0) + 1
+                            incarnations[worker_id] += 1
+                            _M_RESPAWNS.inc()
+                            spawn(worker_id)
+                    if not any(p.is_alive() for p in processes.values()):
+                        break
+                    if on_progress is not None and \
+                            time.time() - last_progress >= progress_interval:
+                        try:
+                            on_progress(queue.status())
+                        except Exception as error:
+                            # A broken progress consumer (closed pipe,
+                            # caller bug) must not abort a running fleet;
+                            # drop the callback and keep draining.
+                            warnings.warn(
+                                f"fleet progress callback failed "
+                                f"({type(error).__name__}: {error}); "
+                                f"progress reporting disabled",
+                                RuntimeWarning)
+                            on_progress = None
+                        last_progress = time.time()
+                    time.sleep(min(poll_interval, 0.2))
+            finally:
+                # Never leave spawned workers orphaned: whatever unwinds
+                # the wait loop, the children are joined before control
+                # escapes (they exit on their own once every cell has an
+                # outcome).
+                for process in processes.values():
+                    process.join()
+                if saved_trace_env is not None:
+                    for name, value in saved_trace_env.items():
+                        if value is None:
+                            os.environ.pop(name, None)
+                        else:
+                            os.environ[name] = value
 
     report = _collect_report(study, store, queue, worker_ids, all_tags,
                              queued, skipped, cells)

@@ -26,6 +26,7 @@ HTTP surface::
                          -> 200 done / 202 scheduled / 400 / 500
     GET  /status         -> server + cache + executor counters
     GET  /health         -> store/executor liveness: 200 ok|degraded / 503
+    GET  /metrics        -> the telemetry registry, Prometheus text format
     GET  /result/<run_id> -> full stored envelope / 404
     POST /shutdown       -> 200, then the daemon drains and exits
 
@@ -57,6 +58,26 @@ from repro.serve.executor import FleetQueueExecutor, PoolExecutor
 from repro.store import ResultStore, run_id_for, spec_fingerprint
 from repro.study.runner import study_run_tags
 from repro.study.spec import StudySpec
+from repro.telemetry.metrics import REGISTRY as _METRICS_REGISTRY
+from repro.telemetry.metrics import counter as _metrics_counter
+from repro.telemetry.metrics import histogram as _metrics_histogram
+
+# Registry mirrors of the request stats, plus a latency histogram --
+# scraped via GET /metrics in Prometheus text format.
+_M_REQUESTS = _metrics_counter(
+    "repro_serve_requests_total", "spec/study submissions received")
+_M_HITS = _metrics_counter(
+    "repro_serve_cache_hits_total", "submissions answered from the store")
+_M_MISSES = _metrics_counter(
+    "repro_serve_cache_misses_total", "submissions that led an execution")
+_M_COALESCED = _metrics_counter(
+    "repro_serve_coalesced_total",
+    "submissions that joined an identical in-flight execution")
+_M_ERRORS = _metrics_counter(
+    "repro_serve_errors_total", "executor failures observed by the daemon")
+_M_REQUEST_SECONDS = _metrics_histogram(
+    "repro_serve_request_seconds",
+    "wall-clock seconds spent answering a submission")
 
 #: Default TCP bind; port 0 lets the OS pick (tests, examples).
 DEFAULT_HOST = "127.0.0.1"
@@ -64,6 +85,9 @@ DEFAULT_PORT = 8351
 
 #: Default cap on how long a ``wait=true`` request blocks server-side.
 DEFAULT_WAIT_TIMEOUT = 600.0
+
+#: The Prometheus text exposition content type served by ``GET /metrics``.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class ServeError(Exception):
@@ -182,12 +206,14 @@ class ServeApp:
         if run_id is not None:
             with self._lock:
                 self._stats["hits"] += 1
+            _M_HITS.inc()
             return "hit", run_id, None
         leading, entry = self.inflight.join_or_lead(
             fingerprint, run_id_for(spec, tags))
         if not leading:
             with self._lock:
                 self._stats["coalesced"] += 1
+            _M_COALESCED.inc()
             return "coalesced", entry.run_id, entry.future
         # Leader.  Re-check the store before paying for a simulation: a
         # concurrent request may have stored this spec between our lookup
@@ -198,9 +224,11 @@ class ServeApp:
             self.inflight.resolve(fingerprint, result=run_id)
             with self._lock:
                 self._stats["hits"] += 1
+            _M_HITS.inc()
             return "hit", run_id, None
         with self._lock:
             self._stats["misses"] += 1
+        _M_MISSES.inc()
         try:
             task = self.executor.submit(spec, tags)
         except Exception as error:  # pool shut down mid-drain, etc.
@@ -220,6 +248,7 @@ class ServeApp:
         """
         error = task.exception()
         if error is not None:
+            _M_ERRORS.inc()
             with self._lock:
                 self._stats["errors"] += 1
                 self._recent_errors.append(
@@ -251,6 +280,7 @@ class ServeApp:
         """Serve one experiment submission; returns ``(http_status, body)``."""
         with self._lock:
             self._stats["requests"] += 1
+        _M_REQUESTS.inc()
         started = time.time()
         full_tags = self._request_tags(tags, client)
         cache, run_id, future = self._submit_one(spec, full_tags)
@@ -263,9 +293,11 @@ class ServeApp:
         if future is None:
             response.update(status="done", entry=self._describe(run_id),
                             elapsed_s=time.time() - started)
+            _M_REQUEST_SECONDS.observe(time.time() - started)
             return 200, response
         if not wait:
             response.update(status="scheduled")
+            _M_REQUEST_SECONDS.observe(time.time() - started)
             return 202, response
         try:
             run_id = future.result(timeout=timeout or DEFAULT_WAIT_TIMEOUT)
@@ -273,10 +305,12 @@ class ServeApp:
             response.update(status="failed",
                             error=f"{type(error).__name__}: {error}",
                             elapsed_s=time.time() - started)
+            _M_REQUEST_SECONDS.observe(time.time() - started)
             return 500, response
         response.update(status="done", run_id=run_id,
                         entry=self._describe(run_id),
                         elapsed_s=time.time() - started)
+        _M_REQUEST_SECONDS.observe(time.time() - started)
         return 200, response
 
     def submit_study(self, study: StudySpec, tags: Sequence[str] = (),
@@ -291,6 +325,7 @@ class ServeApp:
         """
         with self._lock:
             self._stats["requests"] += 1
+        _M_REQUESTS.inc()
         started = time.time()
         run_tags = study_run_tags(study, self._request_tags(tags, client))
         cells: List[Dict[str, Any]] = []
@@ -322,6 +357,7 @@ class ServeApp:
                 row["status"] = "failed"
                 row["error"] = f"{type(error).__name__}: {error}"
         response["elapsed_s"] = time.time() - started
+        _M_REQUEST_SECONDS.observe(time.time() - started)
         if failed:
             response.update(status="failed", failed=failed)
             return 500, response
@@ -385,10 +421,18 @@ class ServeApp:
                 "root": str(self.store.root),
                 "runs": len(self.store),
                 "fingerprints": fingerprints,
-                "index_cache_hits": self.store._index_cache_hits,
+                # Registry series, not a private attribute -- process-wide,
+                # so it also counts any other stores open in this process.
+                "index_cache_hits": int(_METRICS_REGISTRY.value(
+                    "repro_store_index_cache_hits_total")),
             },
             "recent_errors": recent_errors,
         }
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` body: the process-global registry in
+        Prometheus text exposition format."""
+        return _METRICS_REGISTRY.render_prometheus()
 
     def health(self) -> Tuple[int, Dict[str, Any]]:
         """The ``GET /health`` body: store and executor liveness probes.
@@ -490,6 +534,15 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _reply_text(self, status: int, text: str,
+                    content_type: str = PROMETHEUS_CONTENT_TYPE) -> None:
+        payload = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
@@ -511,6 +564,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             elif self.path == "/health":
                 status, body = self.app.health()
                 self._reply(status, body)
+            elif self.path == "/metrics":
+                self._reply_text(200, self.app.metrics_text())
             elif self.path.startswith("/result/"):
                 run_id = self.path[len("/result/"):]
                 status, body = self.app.result(run_id)

@@ -34,6 +34,14 @@ from repro.chaos.injection import inject
 from repro.chaos.retry import CircuitBreaker, RetryError, RetryPolicy
 from repro.fleet.queue import QueuedCell, WorkQueue, cell_key
 from repro.store import ResultStore, StoredRun, run_id_for
+from repro.telemetry.metrics import counter as _metrics_counter
+
+_M_EXECUTED = _metrics_counter(
+    "repro_serve_executed_total",
+    "cache misses actually simulated by a resident executor")
+_M_FELL_BACK = _metrics_counter(
+    "repro_serve_fallback_total",
+    "submissions answered by the degraded-mode fallback executor")
 
 
 class QueueStuck(RuntimeError):
@@ -74,6 +82,7 @@ class PoolExecutor:
         stored = self.store.put(result, tags=tags)
         with self._counter_lock:
             self.executed += 1
+        _M_EXECUTED.inc()
         return stored
 
     def in_flight(self) -> int:
@@ -212,6 +221,7 @@ class FleetQueueExecutor:
                 return
             with self._lock:
                 self.executed += 1
+            _M_EXECUTED.inc()
             self._resolve(key, future, stored=stored)
             return
         record = self.queue.failed_records().get(key)
@@ -322,6 +332,7 @@ class FallbackExecutor:
         if not self.breaker.allow():
             with self._lock:
                 self.fell_back += 1
+            _M_FELL_BACK.inc()
             return self.fallback.submit(spec, tags)
         future: "Future[StoredRun]" = Future()
         self.primary.submit(spec, tags).add_done_callback(
@@ -344,6 +355,7 @@ class FallbackExecutor:
         self.breaker.record_failure()
         with self._lock:
             self.fell_back += 1
+        _M_FELL_BACK.inc()
         self.fallback.submit(spec, tags).add_done_callback(
             lambda fb: self._chain(fb, future))
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.sim.iteration import IterationResult
 from repro.sim.systems import SystemSpec
+from repro.telemetry.trace import span as _span
 from repro.workloads.routing_traces import RoutingTrace
 from repro.workloads.scenarios import TraceSource
 
@@ -204,11 +205,24 @@ class TrainingRunSimulator:
         result = RunResult(system=self.system.name,
                            tokens_per_iteration=global_tokens,
                            keep_iterations=keep_iterations)
-        frames = itertools.islice(workload.iter_iterations(), total)
-        for iteration, routing in enumerate(frames):
-            decisions = self.system.policy.decide_iteration(routing)
-            sim_result = self.system.simulator.simulate_iteration(
-                iteration, decisions)
+        frames = iter(itertools.islice(workload.iter_iterations(), total))
+        for iteration in range(total):
+            # Telemetry phases (no-op spans unless a tracer is armed):
+            # drawing the routing frame, the policy decision (which is
+            # where the planner's lite-route / cost-eval / layout-tuning
+            # sub-phases nest), and the cost simulation itself.
+            with _span("sim.routing-draw", system=self.system.name,
+                       iteration=iteration):
+                routing = next(frames, None)
+            if routing is None:
+                break  # source ended early; matches the old for-loop
+            with _span("sim.decide", system=self.system.name,
+                       iteration=iteration):
+                decisions = self.system.policy.decide_iteration(routing)
+            with _span("sim.simulate", system=self.system.name,
+                       iteration=iteration):
+                sim_result = self.system.simulator.simulate_iteration(
+                    iteration, decisions)
             if iteration >= warmup:
                 result.add(sim_result)
         return result

@@ -44,6 +44,7 @@ from repro.core.comm_schedule import (
     schedule_layer,
 )
 from repro.parallel.tp import TensorParallelCost
+from repro.telemetry.trace import span as _span
 from repro.workloads.model_configs import MoEModelConfig
 
 #: Activation / parameter element width used throughout the simulator (bf16).
@@ -381,8 +382,10 @@ class IterationSimulator:
         """
         if not decisions:
             raise ValueError("decisions must not be empty")
-        layer_results = [self.simulate_layer(layer, decision)
-                         for layer, decision in enumerate(decisions)]
+        layer_results = []
+        for layer, decision in enumerate(decisions):
+            with _span("sim.layer", layer=layer):
+                layer_results.append(self.simulate_layer(layer, decision))
         scale = self.num_layers / len(layer_results)
         breakdown = {
             "attention_and_other": scale * sum(r.attention_time for r in layer_results),

@@ -91,6 +91,31 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.api.runner import ExperimentResult
 from repro.api.specs import ExperimentSpec
 from repro.chaos.injection import inject
+from repro.telemetry.metrics import counter as _metrics_counter
+from repro.telemetry.metrics import gauge as _metrics_gauge
+
+# Registry series (process-global; surfaced via `repro store ls --stats`
+# and the serve daemon's GET /metrics).
+_M_INDEX_CACHE_HITS = _metrics_counter(
+    "repro_store_index_cache_hits_total",
+    "index reads answered from the stat-keyed in-memory cache")
+_M_INDEX_CACHE_MISSES = _metrics_counter(
+    "repro_store_index_cache_misses_total",
+    "index reads that re-merged index.json + journal")
+_M_PUTS = _metrics_counter(
+    "repro_store_puts_total", "runs persisted via ResultStore.put")
+_M_JOURNAL_APPENDS = _metrics_counter(
+    "repro_store_journal_appends_total",
+    "index journal lines appended by this process")
+_M_AUTO_COMPACTIONS = _metrics_counter(
+    "repro_store_auto_compactions_total",
+    "journal-threshold compactions triggered by put")
+_M_JOURNAL_LINES = _metrics_gauge(
+    "repro_store_journal_lines",
+    "index journal line count at the last count/scan")
+_M_JOURNAL_TORN_LINES = _metrics_gauge(
+    "repro_store_journal_torn_lines",
+    "unparseable journal lines at the last scan")
 
 #: Current on-disk envelope format; bump on incompatible layout changes.
 STORE_FORMAT = 1
@@ -564,10 +589,12 @@ class ResultStore:
                 size = os.fstat(fd).st_size
             finally:
                 os.close(fd)
+        _M_JOURNAL_APPENDS.inc()
         with self._journal_mutex:
             if (self._journal_lines is not None
                     and size == self._journal_size + len(line)):
                 self._journal_lines += 1  # sole writer: exact count
+                _M_JOURNAL_LINES.set(self._journal_lines)
             else:
                 self._journal_lines = None  # interleaved appends: recount lazily
             self._journal_size = size
@@ -602,6 +629,8 @@ class ResultStore:
                 skipped += 1
                 continue
             records.append(record)
+        _M_JOURNAL_LINES.set(len(records) + skipped)
+        _M_JOURNAL_TORN_LINES.set(skipped)
         return records, skipped
 
     def _read_journal(self) -> List[Dict[str, Any]]:
@@ -671,6 +700,7 @@ class ResultStore:
         with self._journal_mutex:
             self._journal_lines = lines
             self._journal_size = size
+        _M_JOURNAL_LINES.set(lines)
         return lines
 
     def _maybe_auto_compact(self) -> bool:
@@ -689,10 +719,12 @@ class ResultStore:
             return False
         if self.auto_compact_bytes and size >= self.auto_compact_bytes:
             self.compact_index()
+            _M_AUTO_COMPACTIONS.inc()
             return True
         if (self.auto_compact_lines
                 and self._journal_line_count() >= self.auto_compact_lines):
             self.compact_index()
+            _M_AUTO_COMPACTIONS.inc()
             return True
         return False
 
@@ -743,6 +775,7 @@ class ResultStore:
         entry = IndexEntry.from_run(run).to_dict()
         self._append_journal({"op": "put", "entry": entry})
         inject("store.post-journal", run_id=run.run_id)
+        _M_PUTS.inc()
         if compact:
             self.compact_index()
         else:
@@ -914,7 +947,9 @@ class ResultStore:
         cached = self._index_cache
         if cached is not None and cached[0] == key:
             self._index_cache_hits += 1
+            _M_INDEX_CACHE_HITS.inc()
             return cached[1]
+        _M_INDEX_CACHE_MISSES.inc()
         records = self._read_journal()
         base, intact = self._read_index_file()
         merged = self._apply_journal(base, records)

@@ -1,0 +1,66 @@
+"""Observability layer: cross-process tracing + a process-global
+metrics registry.
+
+Three pillars, all stdlib-only (this package must never import back
+into ``repro`` -- the store, queue, engine and serve layers import it at
+module load):
+
+* :mod:`repro.telemetry.trace` -- ``Span``/``Tracer`` JSONL tracing with
+  env-var context propagation to fleet workers, a cross-process merger,
+  and Chrome trace-event export (``repro trace record`` / ``export``).
+* :mod:`repro.telemetry.metrics` -- counters, gauges and fixed-bucket
+  histograms in one :data:`~repro.telemetry.metrics.REGISTRY`, snapshot
+  as JSON or served Prometheus-text from the daemon's ``GET /metrics``.
+* Profiling hooks -- the engine and planner wrap their phases in spans
+  so ``repro study report --trace`` renders a per-phase breakdown.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.telemetry.trace import (
+    TRACE_DIR_ENV,
+    TRACE_ID_ENV,
+    TRACE_PARENT_ENV,
+    Tracer,
+    active,
+    export_chrome_trace,
+    export_env,
+    install,
+    maybe_install_from_env,
+    phase_breakdown,
+    read_events,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "TRACE_DIR_ENV",
+    "TRACE_ID_ENV",
+    "TRACE_PARENT_ENV",
+    "Tracer",
+    "active",
+    "export_chrome_trace",
+    "export_env",
+    "install",
+    "maybe_install_from_env",
+    "phase_breakdown",
+    "read_events",
+    "span",
+    "uninstall",
+]
