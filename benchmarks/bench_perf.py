@@ -56,6 +56,11 @@ from repro.workloads.routing_traces import (
     SyntheticRoutingTraceGenerator,
 )
 
+# Same directory; running `python benchmarks/bench_perf.py` puts it on
+# sys.path.  The batched-tuner evaluation is graded in both harnesses so
+# neither a perf-only nor a calib-only CI lane can miss a regression.
+from bench_calib import TUNER_BATCH_FLOOR, bench_tuner_batch_eval
+
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 #: Quick (CI smoke) runs land next to, not on top of, the checked-in
 #: full-mode baseline.
@@ -227,10 +232,18 @@ def main(argv=None) -> int:
           f"({'quick' if args.quick else 'full'} mode, "
           f"{topology.num_devices} devices, {NUM_LAYERS} layers, "
           f"{iterations} iterations) ...")
+    tuner_bench = bench_tuner_batch_eval(args.quick, seed=7)
     kernels = {
         "all_to_all": bench_all_to_all(topology, repeats),
         "trace_generation": bench_trace_generation(iterations, repeats),
         "lite_route": bench_lite_route(topology, repeats),
+        "tuner_batch_eval": {
+            "n": tuner_bench["num_devices"],
+            "candidates": tuner_bench["candidates"],
+            "scalar_s": tuner_bench["scalar_s"],
+            "vectorized_s": tuner_bench["batched_s"],
+            "speedup": tuner_bench["speedup"],
+        },
         "run_experiment": bench_end_to_end(iterations),
     }
     for name, result in kernels.items():
@@ -254,7 +267,8 @@ def main(argv=None) -> int:
                            for key, value in result.items()}
                     for name, result in kernels.items()},
         "floors": {"run_experiment": END_TO_END_FLOOR,
-                   "all_to_all": ALL_TO_ALL_FLOOR},
+                   "all_to_all": ALL_TO_ALL_FLOOR,
+                   "tuner_batch_eval": TUNER_BATCH_FLOOR},
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"recorded to {args.output}")
@@ -270,6 +284,11 @@ def main(argv=None) -> int:
             failures.append(
                 f"all_to_all speedup {kernels['all_to_all']['speedup']:.1f}x "
                 f"< {ALL_TO_ALL_FLOOR}x floor")
+        if kernels["tuner_batch_eval"]["speedup"] < TUNER_BATCH_FLOOR:
+            failures.append(
+                f"tuner_batch_eval speedup "
+                f"{kernels['tuner_batch_eval']['speedup']:.1f}x "
+                f"< {TUNER_BATCH_FLOOR}x floor")
         if failures:
             print("PERF REGRESSION: " + "; ".join(failures), file=sys.stderr)
             return 1

@@ -266,6 +266,11 @@ class ExperimentRunner:
             ``reference``).
         """
         topology = spec.cluster.to_topology()
+        if spec.calibration is not None:
+            # Applied exactly once: the calibrated topology carries the
+            # bandwidth/latency/FLOPs corrections, make_system threads the
+            # remaining per-token byte overhead.
+            topology = spec.calibration.apply_to_topology(topology)
         config = spec.workload.model_config()
         source = spec.workload.make_source(topology.num_devices)
 
@@ -278,6 +283,7 @@ class ExperimentRunner:
                 overflow_penalty=spec.overflow_penalty,
                 token_capacity=spec.token_capacity,
                 drop_policy=spec.drop_policy,
+                calibration=spec.calibration,
                 **system_spec.options)
             built.name = system_spec.key
             systems.append(built)
@@ -359,11 +365,15 @@ def run_planner_study(spec: ExperimentSpec) -> List[PlannerIterationStats]:
     iterations instead of materializing the whole trace up front.
     """
     topology = spec.cluster.to_topology()
+    if spec.calibration is not None:
+        topology = spec.calibration.apply_to_topology(topology)
     config = spec.workload.model_config()
     source = spec.workload.make_source(topology.num_devices)
     cost_model = MoECostModel.from_model_config(
         config, topology,
-        activation_checkpointing=spec.activation_checkpointing)
+        activation_checkpointing=spec.activation_checkpointing,
+        comm_bytes_scale=(spec.calibration.comm_bytes_scale
+                          if spec.calibration is not None else 1.0))
     planner = LoadBalancingPlanner(
         topology, cost_model, config.num_experts,
         PlannerConfig(capacity=config.expert_capacity))

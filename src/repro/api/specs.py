@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.calib.profile import CalibrationProfile
 from repro.cluster.topology import (
     DEFAULT_INTER_NODE_BANDWIDTH,
     DEFAULT_INTER_NODE_LATENCY,
@@ -312,6 +313,13 @@ class ExperimentSpec:
             :class:`repro.sim.iteration.IterationSimulator`.  The
             non-default policies activate the overflow model even with
             ``overflow_penalty == 0``.
+        calibration: Optional fitted machine corrections
+            (:class:`repro.calib.profile.CalibrationProfile`).  When set,
+            the runner applies the profile to the materialised topology and
+            threads the per-token byte overhead into every built system, so
+            the experiment runs on the *measured* machine instead of the
+            nominal one.  Serialized only when set, so uncalibrated specs
+            keep their existing content-hashed run ids.
     """
 
     name: str = "experiment"
@@ -323,8 +331,13 @@ class ExperimentSpec:
     overflow_penalty: float = 0.0
     token_capacity: Optional[int] = None
     drop_policy: str = "penalty"
+    calibration: Optional[CalibrationProfile] = None
 
     def __post_init__(self) -> None:
+        if self.calibration is not None and not isinstance(
+                self.calibration, CalibrationProfile):
+            object.__setattr__(self, "calibration",
+                               CalibrationProfile.from_dict(self.calibration))
         if self.overflow_penalty < 0:
             raise ValueError("overflow_penalty must be non-negative")
         if self.token_capacity is not None and self.token_capacity <= 0:
@@ -358,6 +371,11 @@ class ExperimentSpec:
         return replace(self, systems=systems,
                        reference=reference or self.reference)
 
+    def with_calibration(
+            self, calibration: Optional[CalibrationProfile]) -> "ExperimentSpec":
+        """Derive a spec running on a calibrated (or uncalibrated) machine."""
+        return replace(self, calibration=calibration)
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
@@ -381,6 +399,8 @@ class ExperimentSpec:
             data["token_capacity"] = self.token_capacity
         if self.drop_policy != "penalty":
             data["drop_policy"] = self.drop_policy
+        if self.calibration is not None:
+            data["calibration"] = self.calibration.to_dict()
         return data
 
     @classmethod

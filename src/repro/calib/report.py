@@ -1,0 +1,121 @@
+"""Goodness-of-fit reporting for calibration fits.
+
+Renders a :class:`~repro.calib.fit.FitResult` as the same markdown / ASCII
+report style the study tooling uses (:mod:`repro.analysis.reporting`):
+per-term R² and MAPE, the fitted parameters, the worst residuals and a
+per-link breakdown highlighting the links the alpha-beta model explains
+worst.  The one-line :func:`fit_summary_line` is stable and greppable --
+CI asserts on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis.reporting import format_study_report
+from repro.calib.fit import FitResult
+
+
+def term_rows(fit: FitResult) -> List[Dict[str, Any]]:
+    """One row per fitted term: observation count, R², MAPE, parameters."""
+    rows: List[Dict[str, Any]] = []
+    for term in fit.terms:
+        params = ", ".join(f"{name}={value:.6g}"
+                           for name, value in sorted(term.params.items())
+                           if not name.endswith("_bytes_per_s")
+                           and not name.endswith("effective_flops"))
+        rows.append({
+            "term": term.term,
+            "observations": term.num_observations,
+            "r2": round(term.r2, 6),
+            "mape": f"{term.mape * 100:.3f}%",
+            "fitted": params,
+        })
+    return rows
+
+
+def residual_rows(fit: FitResult, top: int = 10) -> List[Dict[str, Any]]:
+    """The ``top`` observations with the largest relative error."""
+    ranked = sorted(fit.residuals, key=lambda r: abs(r.rel_error),
+                    reverse=True)
+    return [{
+        "term": residual.term,
+        "observation": residual.label,
+        "measured_s": f"{residual.measured:.6g}",
+        "predicted_s": f"{residual.predicted:.6g}",
+        "rel_error": f"{residual.rel_error * 100:+.3f}%",
+    } for residual in ranked[:top]]
+
+
+def worst_link_rows(fit: FitResult, top: int = 5) -> List[Dict[str, Any]]:
+    """Per-link mean absolute relative error, worst first.
+
+    Groups the comm-term residuals by their ``src->dst`` pair so systematic
+    per-link deviations (a flaky NIC, a congested switch) stand out from
+    the per-size scatter.
+    """
+    by_link: Dict[str, List[float]] = {}
+    for residual in fit.residuals:
+        if not residual.term.startswith("comm:"):
+            continue
+        link = residual.label.split()[0]
+        by_link.setdefault(link, []).append(abs(residual.rel_error))
+    ranked = sorted(by_link.items(), key=lambda item: -max(item[1]))
+    return [{
+        "link": link,
+        "observations": len(errors),
+        "mean_abs_rel_error": f"{sum(errors) / len(errors) * 100:.3f}%",
+        "max_abs_rel_error": f"{max(errors) * 100:.3f}%",
+    } for link, errors in ranked[:top]]
+
+
+def profile_rows(fit: FitResult) -> List[Dict[str, Any]]:
+    """The fitted profile as parameter/value rows."""
+    profile = fit.profile
+    rows = [
+        {"parameter": "intra_node_bandwidth_scale",
+         "value": round(profile.intra_node_bandwidth_scale, 6)},
+        {"parameter": "inter_node_bandwidth_scale",
+         "value": round(profile.inter_node_bandwidth_scale, 6)},
+        {"parameter": "flops_scale", "value": round(profile.flops_scale, 6)},
+        {"parameter": "comm_bytes_scale",
+         "value": round(profile.comm_bytes_scale, 6)},
+    ]
+    if profile.intra_node_latency_s is not None:
+        rows.append({"parameter": "intra_node_latency_s",
+                     "value": f"{profile.intra_node_latency_s:.4g}"})
+    if profile.inter_node_latency_s is not None:
+        rows.append({"parameter": "inter_node_latency_s",
+                     "value": f"{profile.inter_node_latency_s:.4g}"})
+    return rows
+
+
+def fit_summary_line(fit: FitResult) -> str:
+    """The stable one-line summary CI greps for.
+
+    Format: ``calib fit: ok|poor terms=N obs=N r2_min=X mape_max=Y%
+    profile=<id>``; ``ok`` requires every term's R² >= 0.99.
+    """
+    total_obs = sum(term.num_observations for term in fit.terms)
+    verdict = "ok" if fit.r2_min >= 0.99 else "poor"
+    return (f"calib fit: {verdict} terms={len(fit.terms)} obs={total_obs} "
+            f"r2_min={fit.r2_min:.4f} mape_max={fit.mape_max * 100:.2f}% "
+            f"profile={fit.profile.profile_id}")
+
+
+def fit_report(fit: FitResult, title: str = "calibration") -> str:
+    """Render the full markdown goodness-of-fit report."""
+    sections: Dict[str, List[Dict[str, Any]]] = {
+        "Fitted profile": profile_rows(fit),
+    }
+    worst = worst_link_rows(fit)
+    if worst:
+        sections["Worst-fit links"] = worst
+    residuals = residual_rows(fit)
+    if residuals:
+        sections["Largest residuals"] = residuals
+    intro = fit_summary_line(fit)
+    if fit.profile.source:
+        intro += f"\n\nObservations: {fit.profile.source}"
+    return format_study_report(f"calibration fit: {title}", term_rows(fit),
+                               intro=intro, sections=sections)

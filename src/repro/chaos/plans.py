@@ -32,6 +32,14 @@ Built-in plans:
     answer every request.  A second leg starts a real daemon and drives a
     retry-enabled :class:`~repro.serve.ServeClient` through injected
     connection drops, then checks ``GET /health``.
+
+``serve-latency``
+    Latency, not loss: a real daemon (stuck fleet-queue primary behind a
+    one-strike breaker) is driven by *concurrent* retry-enabled clients
+    while ``slow`` faults delay every client request and ``stall`` faults
+    delay the executor pre-execute hook.  Every submission must still
+    complete, the breaker must end up open, and ``GET /health`` must
+    report ``degraded`` — slowness may shed performance, never answers.
 """
 
 from __future__ import annotations
@@ -78,6 +86,9 @@ PLAN_DESCRIPTIONS: Dict[str, str] = {
     "serve-degradation": "stuck fleet queue behind the daemon: breaker "
                          "opens, pool fallback answers, client retries "
                          "ride out dropped connections",
+    "serve-latency": "slow/stall faults on the serve client and executor "
+                     "under concurrent load: every submission completes, "
+                     "breaker opens, /health reports degraded",
 }
 
 PLAN_NAMES = tuple(PLAN_DESCRIPTIONS)
@@ -207,6 +218,13 @@ def build_plan(name: str, seed: int = 0) -> FaultPlan:
         return FaultPlan(name=name, seed=seed, faults=(
             FaultSpec(point="serve.client-request", kind="drop", at=1,
                       times=2),
+        ))
+    if name == "serve-latency":
+        return FaultPlan(name=name, seed=seed, faults=(
+            FaultSpec(point="serve.client-request", kind="slow", at=1,
+                      times=3, delay_s=0.05),
+            FaultSpec(point="serve.pre-execute", kind="stall", at=1,
+                      times=2, delay_s=0.2),
         ))
     raise ValueError(f"unknown chaos plan {name!r}; "
                      f"known: {', '.join(PLAN_NAMES)}")
@@ -513,12 +531,154 @@ def _run_serve_degradation(report: ChaosReport, store: ResultStore,
 
 
 # ----------------------------------------------------------------------
+# serve-latency
+# ----------------------------------------------------------------------
+_LATENCY_CLIENTS = 3
+
+
+def _run_serve_latency(report: ChaosReport, store: ResultStore,
+                       plan: FaultPlan, inject_faults: bool,
+                       log: Callable[[str], None]) -> None:
+    import threading
+
+    from repro.fleet.queue import WorkQueue
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ReproServer
+    from repro.serve.executor import (
+        FallbackExecutor,
+        FleetQueueExecutor,
+        PoolExecutor,
+    )
+
+    # A real daemon whose primary executor is a workerless fleet queue
+    # behind a one-strike breaker with a cooldown far longer than the run:
+    # the first miss must fall back and leave the breaker open, so every
+    # later assertion sees the degraded-but-answering steady state.
+    queue_root = Path(store.root) / "chaos" / "latency-queue"
+    primary = FleetQueueExecutor(
+        store, WorkQueue(queue_root, lease_timeout=0.5),
+        poll_interval=0.05, stuck_timeout=0.6)
+    breaker = CircuitBreaker(failure_threshold=1, cooldown_s=3600.0)
+    executor = FallbackExecutor(primary, PoolExecutor(store), breaker)
+    server = ReproServer(store, host="127.0.0.1", port=0,
+                         executor=executor).start()
+
+    replies: List[Any] = [None] * _LATENCY_CLIENTS
+    errors: List[Optional[str]] = [None] * _LATENCY_CLIENTS
+
+    def _submit(index: int) -> None:
+        client = ServeClient(
+            server.address, client=f"chaos-latency-{index}",
+            retry=RetryPolicy(retries=4, base_delay_s=0.01,
+                              max_delay_s=0.05, seed=report.seed + index))
+        try:
+            replies[index] = client.submit(
+                _tiny_spec("chaos-latency", index, report.seed),
+                tags=("chaos", "latency"))
+        except Exception as error:  # noqa: BLE001 - graded, not crashed
+            errors[index] = f"{type(error).__name__}: {error}"
+        finally:
+            client.close()
+
+    try:
+        probe = ServeClient(server.address, client="chaos-latency-probe")
+        try:
+            probe.wait_ready()
+            if inject_faults:
+                install(FaultInjector(plan))
+            try:
+                threads = [threading.Thread(target=_submit, args=(index,),
+                                            name=f"chaos-latency-{index}")
+                           for index in range(_LATENCY_CLIENTS)]
+                started = time.time()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                elapsed = time.time() - started
+            finally:
+                if inject_faults:
+                    injector = active()
+                    fired = list(injector.fired) if injector else []
+                    uninstall()
+                else:
+                    fired = []
+
+            slow_hits = sum(1 for event in fired
+                            if event["point"] == "serve.client-request")
+            stall_hits = sum(1 for event in fired
+                             if event["point"] == "serve.pre-execute")
+            report.count("client_slow", slow_hits)
+            report.count("executor_stalls", stall_hits)
+            if slow_hits:
+                report.exercised("serve.client-request")
+            if stall_hits:
+                report.exercised("serve.pre-execute")
+
+            completed = 0
+            for index, reply in enumerate(replies):
+                if errors[index]:
+                    report.failures.append(
+                        f"concurrent client {index} raised under latency "
+                        f"faults: {errors[index]}")
+                elif reply is None or not reply.done:
+                    status = getattr(reply, "status", None)
+                    error = getattr(reply, "error", None)
+                    report.failures.append(
+                        f"concurrent client {index} did not complete: "
+                        f"status={status!r} error={error!r}")
+                else:
+                    completed += 1
+            report.count("completed", completed)
+            log(f"{completed}/{_LATENCY_CLIENTS} concurrent submissions "
+                f"completed in {elapsed:.2f}s under "
+                f"{slow_hits} slow + {stall_hits} stall fault(s) "
+                f"(breaker {breaker.state})")
+            if inject_faults and slow_hits < 1:
+                report.failures.append(
+                    "slow faults never fired at serve.client-request")
+            if inject_faults and stall_hits < 1:
+                report.failures.append(
+                    "stall faults never fired at serve.pre-execute")
+
+            if breaker.state != "open":
+                report.failures.append(
+                    f"circuit breaker should be open after the stuck "
+                    f"primary queue, is {breaker.state!r}")
+            status, body = probe.health()
+            executor_health = body.get("executor", {})
+            report.rounds.append({
+                "round": 0, "stage": "concurrent-latency",
+                "elapsed_s": elapsed, "completed": completed,
+                "slow_hits": slow_hits, "stall_hits": stall_hits,
+                "breaker": breaker.to_dict(),
+                "health_status": status, "health": body,
+            })
+            if status != 200 or body.get("status") != "degraded":
+                report.failures.append(
+                    f"GET /health should answer 200 'degraded' while the "
+                    f"breaker is open, got {status} "
+                    f"{body.get('status')!r}")
+            if not executor_health.get("degraded"):
+                report.failures.append(
+                    "executor health should report degraded=true while "
+                    "the breaker is open")
+        finally:
+            probe.close()
+    finally:
+        server.close()
+    report.invariants.merge(verify_queue(queue_root, store=store))
+    report.invariants.merge(verify_store(store))
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 _PLAN_RUNNERS = {
     "worker-crash": _run_worker_crash,
     "torn-journal": _run_torn_journal,
     "serve-degradation": _run_serve_degradation,
+    "serve-latency": _run_serve_latency,
 }
 
 

@@ -88,6 +88,25 @@ Provides quick access to the most common workflows without writing Python:
       repro submit --address 127.0.0.1:8351 --scenario bursty --iterations 8
       repro submit --address 127.0.0.1:8351 --spec exp.json --no-wait
 
+* ``repro calib measure|fit|report|apply`` -- calibrate the analytic cost
+  model against measured link/kernel/All-to-All timings (see
+  :mod:`repro.calib`): ``measure`` runs the seeded microbenchmark schedule
+  against a hidden ground-truth machine and writes observation CSVs (real
+  measurements in the same CSV shape work too), ``fit`` recovers per-link
+  bandwidth scales, latency intercepts, the FLOPs efficiency and the
+  per-token byte overhead as a content-hashed
+  :class:`repro.calib.CalibrationProfile`, ``report`` renders the
+  goodness-of-fit report (per-term R², MAPE, worst-fit links), and
+  ``apply`` embeds the profile into an ExperimentSpec so every downstream
+  run simulates the calibrated machine::
+
+      repro calib measure --output ./calib-obs --num-nodes 2
+      repro calib fit --observations ./calib-obs --output profile.json \
+        --min-r2 0.99
+      repro calib report --observations ./calib-obs
+      repro calib apply --profile profile.json --spec exp.json \
+        --output exp_calibrated.json
+
 * ``repro store ls|compact|rebuild`` -- store maintenance without Python
   one-liners: list stored runs, fold the append-only index journal into
   ``index.json``, or regenerate the index from the run files (the truth);
@@ -116,6 +135,7 @@ metadata.)
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import shutil
@@ -139,6 +159,15 @@ from repro.api import (
     WorkloadSpec,
     run_planner_study,
 )
+from repro.calib import (
+    GroundTruthMachine,
+    MeasureConfig,
+    ObservationSet,
+    fit_calibration,
+    run_microbenchmarks,
+)
+from repro.calib.profile import CalibrationProfile
+from repro.calib.report import fit_report, fit_summary_line
 from repro.chaos import (
     FAULT_POINTS,
     PLAN_DESCRIPTIONS,
@@ -147,6 +176,7 @@ from repro.chaos import (
     CircuitBreaker,
     RetryPolicy,
 )
+from repro.cluster.topology import ClusterTopology
 from repro.fleet import QUEUE_DIR_NAME, WorkQueue, launch_fleet
 from repro.serve import (
     DEFAULT_HOST,
@@ -661,6 +691,77 @@ def build_parser() -> argparse.ArgumentParser:
 
     chsub.add_parser("plans", help="list the built-in chaos plans")
     chsub.add_parser("points", help="list the named fault-injection points")
+
+    calib = sub.add_parser(
+        "calib", help="calibrate the analytic cost model against measured "
+                      "(or synthetic) microbenchmark observations")
+    casub = calib.add_subparsers(dest="calib_command", required=True)
+
+    calib_measure = casub.add_parser(
+        "measure", help="run the seeded microbenchmark schedule against a "
+                        "hidden ground-truth machine and write observation "
+                        "CSVs (comm/compute/all_to_all)")
+    calib_measure.add_argument("--output", type=str, required=True,
+                               metavar="DIR",
+                               help="observation directory to write")
+    calib_measure.add_argument("--model", type=str,
+                               default="mixtral-8x7b-e8k2",
+                               choices=list_model_configs(),
+                               help="model fixing the All-to-All hidden size")
+    calib_measure.add_argument("--num-nodes", type=int, default=2)
+    calib_measure.add_argument("--devices-per-node", type=int, default=4)
+    calib_measure.add_argument("--seed", type=int, default=0,
+                               help="microbenchmark schedule seed")
+    calib_measure.add_argument("--machine-seed", type=int, default=None,
+                               help="seed of the hidden ground-truth machine "
+                                    "draw (default: --seed)")
+    calib_measure.add_argument("--noise", type=float, default=0.0,
+                               metavar="REL",
+                               help="relative Gaussian measurement noise "
+                                    "(0 = exact observations)")
+    calib_measure.add_argument("--tiny", action="store_true",
+                               help="minimal schedule for CI smoke runs")
+
+    calib_fit = casub.add_parser(
+        "fit", help="fit bandwidth scales, latency intercepts, FLOPs "
+                    "efficiency and the per-token byte overhead to an "
+                    "observation directory")
+    calib_fit.add_argument("--observations", type=str, required=True,
+                           metavar="DIR")
+    calib_fit.add_argument("--output", type=str, default=None,
+                           metavar="PROFILE.json",
+                           help="write the fitted CalibrationProfile here")
+    calib_fit.add_argument("--robust", action="store_true",
+                           help="Huber-weighted (outlier-robust) line fits "
+                                "for the comm terms")
+    calib_fit.add_argument("--min-r2", type=float, default=None,
+                           metavar="R2",
+                           help="exit 1 when any term's R² is below R2 "
+                                "(the CI gate)")
+
+    calib_report = casub.add_parser(
+        "report", help="render the goodness-of-fit report (per-term R², "
+                       "MAPE, residuals, worst-fit links)")
+    calib_report.add_argument("--observations", type=str, required=True,
+                              metavar="DIR")
+    calib_report.add_argument("--robust", action="store_true")
+    calib_report.add_argument("--output", type=str, default=None,
+                              metavar="PATH",
+                              help="write the markdown report here instead "
+                                   "of printing it")
+
+    calib_apply = casub.add_parser(
+        "apply", help="embed a fitted profile into an ExperimentSpec so "
+                      "studies and the serve daemon run on the calibrated "
+                      "machine")
+    calib_apply.add_argument("--profile", type=str, required=True,
+                             metavar="PROFILE.json")
+    calib_apply.add_argument("--spec", type=str, required=True,
+                             metavar="SPEC.json")
+    calib_apply.add_argument("--output", type=str, default=None,
+                             metavar="OUT.json",
+                             help="write the calibrated spec here (default: "
+                                  "print it)")
     return parser
 
 
@@ -1171,6 +1272,45 @@ def cmd_study_report(args: argparse.Namespace) -> int:
                                if values else "")
             series_rows.append(row)
         sections["Speedup vs cluster size"] = series_rows
+    scenarios = sorted({entry.scenario for entry in entries if entry.scenario})
+    if len(scenarios) >= 2:
+        # Scenario robustness: per-run regret vs the best system *in that
+        # run* (so clusters of different sizes stay comparable), averaged
+        # per scenario.  A system that wins one scenario but collapses on
+        # another shows up as a wide min..max regret spread.
+        regrets: Dict[str, Dict[str, List[float]]] = {}
+        for entry in entries:
+            if not entry.scenario:
+                continue
+            throughputs = {
+                system: metrics["throughput"]
+                for system, metrics in entry.metrics.items()
+                if metrics.get("throughput")}
+            if not throughputs:
+                continue
+            best = max(throughputs.values())
+            for system, value in throughputs.items():
+                regrets.setdefault(system, {}).setdefault(
+                    entry.scenario, []).append(best / value - 1.0)
+        robustness_rows: List[Dict[str, Any]] = []
+        for system in sorted(regrets):
+            by_scenario = {
+                scenario: sum(values) / len(values)
+                for scenario, values in regrets[system].items()}
+            low = min(by_scenario.values())
+            high = max(by_scenario.values())
+            worst = max(by_scenario, key=lambda name: by_scenario[name])
+            robustness_rows.append({
+                "system": system,
+                "scenarios": len(by_scenario),
+                "min_regret": f"{low * 100:.1f}%",
+                "max_regret": f"{high * 100:.1f}%",
+                "spread": f"{(high - low) * 100:.1f}%",
+                "worst_scenario": worst,
+            })
+        robustness_rows.sort(key=lambda row: float(row["spread"][:-1]))
+        sections["Scenario robustness (regret vs per-run best)"] = (
+            robustness_rows)
     if args.baseline:
         # Scope the regression scan to the runs this report covers, so one
         # study's report cannot pick up another study's baselines.
@@ -1693,6 +1833,116 @@ def cmd_chaos_points(_: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Calibration commands
+# ----------------------------------------------------------------------
+def _load_observations(path: str) -> Optional[ObservationSet]:
+    try:
+        return ObservationSet.load(path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load observations from {path!r}: {error}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_calib_measure(args: argparse.Namespace) -> int:
+    if args.num_nodes < 1 or args.devices_per_node < 1:
+        print("error: cluster shape must be at least 1x1", file=sys.stderr)
+        return 2
+    if args.num_nodes < 2 and args.devices_per_node < 2:
+        print("error: a 1x1 cluster has no links to measure",
+              file=sys.stderr)
+        return 2
+    config = (MeasureConfig.tiny(model=args.model) if args.tiny
+              else MeasureConfig(model=args.model))
+    if args.noise:
+        config = dataclasses.replace(config, noise=args.noise)
+    machine_seed = args.seed if args.machine_seed is None else args.machine_seed
+    machine = GroundTruthMachine.draw(machine_seed)
+    topology = ClusterTopology(num_nodes=args.num_nodes,
+                               devices_per_node=args.devices_per_node)
+    observations = run_microbenchmarks(topology, machine,
+                                       config=config, seed=args.seed)
+    path = observations.save(args.output)
+    # The hidden machine rides along so tests and CI can check recovery;
+    # real measurement campaigns simply won't have this file.
+    with (path / "ground_truth.json").open("w") as handle:
+        json.dump(machine.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    counts = observations.counts()
+    print(f"Measured {counts['comm']} transfers, {counts['compute']} "
+          f"kernels, {counts['all_to_all']} All-to-All exchanges "
+          f"on a hidden {args.num_nodes}x{args.devices_per_node} machine "
+          f"(machine seed {machine_seed}); observations in {path}")
+    return 0
+
+
+def _fit_observations(args: argparse.Namespace):
+    observations = _load_observations(args.observations)
+    if observations is None:
+        return None
+    try:
+        return fit_calibration(observations, robust=args.robust)
+    except ValueError as error:
+        print(f"error: calibration fit failed: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_calib_fit(args: argparse.Namespace) -> int:
+    fit = _fit_observations(args)
+    if fit is None:
+        return 2
+    print(fit_summary_line(fit))
+    print(fit.profile.describe())
+    if args.output:
+        path = fit.profile.save(args.output)
+        print(f"Profile {fit.profile.profile_id} saved to {path}")
+    if args.min_r2 is not None and fit.r2_min < args.min_r2:
+        print(f"FIT GATE FAILED: r2_min {fit.r2_min:.4f} < {args.min_r2}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_calib_report(args: argparse.Namespace) -> int:
+    fit = _fit_observations(args)
+    if fit is None:
+        return 2
+    report = fit_report(fit, title=args.observations)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"Report written to {args.output}")
+    else:
+        print_report(report)
+    return 0
+
+
+def cmd_calib_apply(args: argparse.Namespace) -> int:
+    try:
+        profile = CalibrationProfile.load(args.profile)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: cannot load profile {args.profile!r}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        spec = ExperimentSpec.load(args.spec)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"error: cannot load spec {args.spec!r}: {error}",
+              file=sys.stderr)
+        return 2
+    calibrated = spec.with_calibration(profile)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(calibrated.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"Calibrated spec ({profile.describe()}) "
+              f"written to {args.output}")
+    else:
+        print(json.dumps(calibrated.to_dict(), indent=2))
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Suite commands
 # ----------------------------------------------------------------------
 def _load_suite(path: str) -> Optional[SuiteSpec]:
@@ -1833,6 +2083,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return CHAOS_COMMANDS[args.chaos_command](args)
 
 
+CALIB_COMMANDS = {
+    "measure": cmd_calib_measure,
+    "fit": cmd_calib_fit,
+    "report": cmd_calib_report,
+    "apply": cmd_calib_apply,
+}
+
+
+def cmd_calib(args: argparse.Namespace) -> int:
+    return CALIB_COMMANDS[args.calib_command](args)
+
+
 STORE_COMMANDS = {
     "ls": cmd_store_ls,
     "compact": cmd_store_compact,
@@ -1886,6 +2148,7 @@ COMMANDS = {
     "submit": cmd_submit,
     "store": cmd_store,
     "chaos": cmd_chaos,
+    "calib": cmd_calib,
 }
 
 

@@ -90,11 +90,20 @@ class MoECostModel:
     @classmethod
     def from_model_config(cls, config: MoEModelConfig, topology: ClusterTopology,
                           activation_checkpointing: bool = False,
-                          bytes_per_element: int = 2) -> "MoECostModel":
-        """Build the cost model for a Table 2 configuration on a topology."""
+                          bytes_per_element: int = 2,
+                          comm_bytes_scale: float = 1.0) -> "MoECostModel":
+        """Build the cost model for a Table 2 configuration on a topology.
+
+        ``comm_bytes_scale`` is the calibrated per-token byte overhead
+        (:class:`repro.calib.profile.CalibrationProfile.comm_bytes_scale`);
+        bandwidth/latency/FLOPs calibration lives in the topology itself.
+        """
+        if comm_bytes_scale <= 0:
+            raise ValueError("comm_bytes_scale must be positive")
         return cls(
             topology=topology,
-            comm_bytes_per_token=config.hidden_size * bytes_per_element,
+            comm_bytes_per_token=(config.hidden_size * bytes_per_element
+                                  * comm_bytes_scale),
             compute_flops_per_token=config.expert_flops_per_token,
             device_flops=topology.device_spec.effective_flops,
             activation_checkpointing=activation_checkpointing,
@@ -137,6 +146,48 @@ class MoECostModel:
             tokens_per_device=tokens,
             max_tokens=int(tokens.max()),
         )
+
+    def evaluate_batch(self, routing_plans: np.ndarray) -> list:
+        """Evaluate ``M`` candidate plans at once (shape ``(M, N, E, N)``).
+
+        Bit-identical to calling :meth:`evaluate` on each plan: the heavy
+        elementwise work (summing the plans down to pairwise traffic and
+        per-device token counts) is vectorized across candidates, while the
+        order-sensitive float reductions -- ``sum(pairwise * 1/bw)`` and the
+        final scalar arithmetic -- run per candidate on contiguous slices,
+        so they see exactly the operand order of the scalar path.
+
+        Returns:
+            ``[CostBreakdown, ...]`` in candidate order.
+        """
+        plans = np.asarray(routing_plans, dtype=np.float64)
+        n = self.topology.num_devices
+        if plans.ndim != 4 or plans.shape[1] != n or plans.shape[3] != n:
+            raise ValueError(
+                f"routing plans must have shape (M, N, E, N) with N={n}, "
+                f"got {plans.shape}")
+        if np.any(plans < 0):
+            raise ValueError("routing plan entries must be non-negative")
+        # Token counts are integers stored as float64, so these sums are
+        # exact regardless of reduction order.
+        pairwise = plans.sum(axis=2)            # (M, N, N)
+        tokens = plans.sum(axis=(1, 2))         # (M, N)
+        forward_factor = 3.0 + (1.0 if self.activation_checkpointing else 0.0)
+        results = []
+        for m in range(plans.shape[0]):
+            seconds = float(np.sum(pairwise[m] * self._inv_bw))
+            comm = self.num_all_to_all * self.comm_bytes_per_token * seconds
+            device_tokens = tokens[m]
+            comp = float(forward_factor * device_tokens.max()
+                         * self.compute_flops_per_token / self.device_flops)
+            results.append(CostBreakdown(
+                total=comm + comp,
+                comm_time=comm,
+                comp_time=comp,
+                tokens_per_device=device_tokens,
+                max_tokens=int(device_tokens.max()),
+            ))
+        return results
 
     # ------------------------------------------------------------------
     # Constraint checking (Eq. 3-4)

@@ -162,6 +162,70 @@ def lite_route(routing: np.ndarray, layout: ExpertLayout,
     return plan
 
 
+def lite_route_batch(routing: np.ndarray, layouts: "list[ExpertLayout]",
+                     topology: ClusterTopology) -> np.ndarray:
+    """Run :func:`lite_route` for ``M`` candidate layouts in one batch.
+
+    The layout tuner scores every candidate layout on the *same* routing
+    matrix; since :func:`_split_evenly_batched` is purely row-wise, the
+    ``(candidate, sender, expert)`` rows of all candidates stack into a
+    single call and the result is bit-identical to ``M`` separate
+    :func:`lite_route` invocations -- this is the tuner's vectorized hot
+    path (wrapped in the ``planner.batch-eval`` telemetry span).
+
+    Args:
+        routing: ``(N, E)`` routing matrix ``R`` shared by all candidates.
+        layouts: Candidate expert layouts (all for the same cluster).
+        topology: Cluster topology.
+
+    Returns:
+        ``(M, N, E, N)`` integer plans; ``plans[m]`` equals
+        ``lite_route(routing, layouts[m], topology)`` exactly.
+    """
+    routing = np.asarray(routing, dtype=np.int64)
+    if not layouts:
+        raise ValueError("need at least one candidate layout")
+    n = layouts[0].num_devices
+    num_experts = layouts[0].num_experts
+    for layout in layouts:
+        if layout.num_devices != n or layout.num_experts != num_experts:
+            raise ValueError("candidate layouts must share one cluster shape")
+    if routing.shape != (n, num_experts):
+        raise ValueError(
+            f"routing must have shape ({n}, {num_experts}), "
+            f"got {routing.shape}")
+    if topology.num_devices != n:
+        raise ValueError("topology size does not match the layouts")
+    if np.any(routing < 0):
+        raise ValueError("token counts must be non-negative")
+    m = len(layouts)
+    replica = np.stack([layout.assignment.T for layout in layouts]
+                       ).astype(np.float64)                      # (M, E, N)
+    plans = np.zeros((m, n, num_experts, n), dtype=np.int64)
+    for node in range(topology.num_nodes):
+        ranks = topology.devices_on_node(node)
+        # Per-candidate node target weights: intra-node replicas when the
+        # node hosts any, global replicas otherwise (same selection as
+        # _node_target_weights, vectorized over candidates).
+        intra = np.zeros_like(replica)
+        intra[:, :, ranks] = replica[:, :, ranks]
+        has_intra = intra.sum(axis=2) > 0                        # (M, E)
+        weights = np.where(has_intra[:, :, None], intra, replica)
+        missing = ((routing[ranks].sum(axis=0) > 0)[None, :]
+                   & (weights.sum(axis=2) <= 0))
+        if np.any(missing):
+            expert = int(np.argmax(np.any(missing, axis=0)))
+            raise ValueError(f"expert {expert} has no replica in the layout")
+        num_ranks = len(ranks)
+        totals = np.tile(routing[ranks].reshape(-1), m)          # (M*R*E,)
+        tiled = np.broadcast_to(
+            weights[:, None, :, :], (m, num_ranks, num_experts, n)
+        ).reshape(m * num_ranks * num_experts, n)
+        plans[:, ranks] = _split_evenly_batched(totals, tiled).reshape(
+            m, num_ranks, num_experts, n)
+    return plans
+
+
 def global_even_route(routing: np.ndarray, layout: ExpertLayout) -> np.ndarray:
     """Topology-oblivious variant: always split across all global replicas.
 

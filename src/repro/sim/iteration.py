@@ -139,6 +139,10 @@ class IterationSimulator:
             is bounded at capacity), or ``"recompute"`` (overflowing tokens
             are re-dispatched through one full extra expert pass on the
             critical device).
+        comm_bytes_scale: Calibrated multiplier on the bytes moved per
+            routed token in the All-to-All (protocol/framing overhead
+            fitted by :mod:`repro.calib`); 1.0 models the nominal
+            hidden-vector bytes.
     """
 
     config: MoEModelConfig
@@ -153,10 +157,13 @@ class IterationSimulator:
     overflow_penalty: float = 0.0
     token_capacity: Optional[int] = None
     drop_policy: str = "penalty"
+    comm_bytes_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.tokens_per_device <= 0:
             raise ValueError("tokens_per_device must be positive")
+        if self.comm_bytes_scale <= 0:
+            raise ValueError("comm_bytes_scale must be positive")
         if self.paradigm not in ("fsep", "fsdp_ep", "megatron"):
             raise ValueError(f"unknown paradigm {self.paradigm!r}")
         if self.tp_size < 1 or self.ep_size < 1:
@@ -216,7 +223,8 @@ class IterationSimulator:
         """One token All-to-All (dispatch or combine) from the routing plan."""
         plan = np.asarray(routing_plan, dtype=np.float64)
         pairwise_tokens = plan.sum(axis=1)
-        traffic = pairwise_tokens * self.config.hidden_size * BYTES_PER_ELEMENT
+        traffic = (pairwise_tokens * self.config.hidden_size
+                   * BYTES_PER_ELEMENT * self.comm_bytes_scale)
         np.fill_diagonal(traffic, 0.0)
         return self.collectives.all_to_all(traffic)
 

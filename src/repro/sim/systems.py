@@ -43,6 +43,7 @@ from repro.baselines import (
     SmartMoEPolicy,
     StaticEPPolicy,
 )
+from repro.calib.profile import CalibrationProfile
 from repro.cluster.memory import MemoryModel
 from repro.cluster.topology import ClusterTopology
 from repro.core.comm_schedule import CommScheduleConfig
@@ -122,6 +123,12 @@ class SystemBuildContext:
             built simulator (``"penalty"``, ``"truncate"`` or
             ``"recompute"``; see
             :class:`repro.sim.iteration.IterationSimulator`).
+        calibration: Optional fitted machine corrections
+            (:class:`repro.calib.profile.CalibrationProfile`).  The
+            bandwidth/latency/FLOPs corrections are expected to be baked
+            into ``topology`` already (the runner applies them once via
+            ``apply_to_topology``); the context only threads the per-token
+            byte overhead into the cost model and every built simulator.
     """
 
     name: str
@@ -132,6 +139,7 @@ class SystemBuildContext:
     overflow_penalty: float = 0.0
     token_capacity: int | None = None
     drop_policy: str = "penalty"
+    calibration: "CalibrationProfile | None" = None
 
     # -- derived quantities -------------------------------------------------
     @property
@@ -155,11 +163,18 @@ class SystemBuildContext:
         return (self.topology, self.num_experts, self.capacity,
                 self.expert_param_bytes)
 
+    @property
+    def comm_bytes_scale(self) -> float:
+        """Calibrated per-token byte overhead (1.0 when uncalibrated)."""
+        return (self.calibration.comm_bytes_scale
+                if self.calibration is not None else 1.0)
+
     def cost_model(self) -> MoECostModel:
         """Cost model for this (model, cluster, checkpointing) combination."""
         return MoECostModel.from_model_config(
             self.config, self.topology,
-            activation_checkpointing=self.activation_checkpointing)
+            activation_checkpointing=self.activation_checkpointing,
+            comm_bytes_scale=self.comm_bytes_scale)
 
     # -- assembly -----------------------------------------------------------
     def build(self, policy: LoadBalancingPolicy, paradigm: str = "fsep",
@@ -179,6 +194,7 @@ class SystemBuildContext:
             overflow_penalty=self.overflow_penalty,
             token_capacity=self.token_capacity,
             drop_policy=self.drop_policy,
+            comm_bytes_scale=self.comm_bytes_scale,
         )
         return SystemSpec(name=self.name, paradigm=paradigm, policy=policy,
                           simulator=simulator, tp_size=tp_size,
@@ -313,6 +329,7 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
                 overflow_penalty: float = 0.0,
                 token_capacity: int | None = None,
                 drop_policy: str = "penalty",
+                calibration: "CalibrationProfile | None" = None,
                 **overrides: object) -> SystemSpec:
     """Instantiate one of the registered training systems.
 
@@ -328,6 +345,10 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
             overflow model.
         drop_policy: Capacity-overflow handling policy (``"penalty"``,
             ``"truncate"`` or ``"recompute"``).
+        calibration: Optional fitted machine corrections; pass a topology
+            already produced by ``calibration.apply_to_topology`` so the
+            bandwidth/latency/FLOPs corrections apply exactly once (the
+            profile here only contributes the per-token byte overhead).
         **overrides: Per-build overrides of the entry's registered parameters
             (e.g. ``make_system("laer", ..., comm_opt=False)``).
 
@@ -340,7 +361,8 @@ def make_system(name: str, config: MoEModelConfig, topology: ClusterTopology,
                              activation_checkpointing=activation_checkpointing,
                              overflow_penalty=overflow_penalty,
                              token_capacity=token_capacity,
-                             drop_policy=drop_policy)
+                             drop_policy=drop_policy,
+                             calibration=calibration)
     return entry.build(ctx, **overrides)
 
 

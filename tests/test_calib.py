@@ -1,0 +1,249 @@
+"""Tests for the calibration subsystem (repro.calib)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.specs import ClusterSpec, ExperimentSpec, WorkloadSpec
+from repro.calib import (
+    CalibrationProfile,
+    GroundTruthMachine,
+    MeasureConfig,
+    ObservationSet,
+    fit_calibration,
+    fit_report,
+    fit_summary_line,
+    run_microbenchmarks,
+)
+from repro.calib.measure import CommObservation
+from repro.cluster.topology import ClusterTopology, LinkType
+from repro.store.result_store import run_id_for
+
+
+def drawn_profile(seed: int = 3) -> CalibrationProfile:
+    return GroundTruthMachine.draw(seed).as_profile(source=f"seed {seed}")
+
+
+# ----------------------------------------------------------------------
+# CalibrationProfile
+# ----------------------------------------------------------------------
+class TestCalibrationProfile:
+    def test_json_round_trip_is_lossless(self, tmp_path):
+        profile = drawn_profile()
+        assert CalibrationProfile.from_json(profile.to_json()) == profile
+        path = profile.save(tmp_path / "profile.json")
+        assert CalibrationProfile.load(path) == profile
+
+    def test_identity_serializes_to_nothing(self):
+        identity = CalibrationProfile.identity()
+        assert identity.is_identity
+        assert identity.to_dict() == {}
+        assert CalibrationProfile.from_dict({}) == identity
+        assert not drawn_profile().is_identity
+
+    def test_profile_id_is_content_hashed(self):
+        assert drawn_profile(1).profile_id == drawn_profile(1).profile_id
+        assert drawn_profile(1).profile_id != drawn_profile(2).profile_id
+        # Provenance is metadata, not identity.
+        relabeled = dataclasses.replace(drawn_profile(1), source="elsewhere")
+        assert relabeled.profile_id == drawn_profile(1).profile_id
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CalibrationProfile.from_dict({"warp_factor": 9})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationProfile(flops_scale=0.0)
+        with pytest.raises(ValueError):
+            CalibrationProfile(intra_node_bandwidth_scale=-1.0)
+        with pytest.raises(ValueError):
+            CalibrationProfile(inter_node_latency_s=-1e-6)
+
+    def test_apply_to_topology_scales_and_replaces(self, small_topology):
+        profile = CalibrationProfile(
+            intra_node_bandwidth_scale=0.5, inter_node_bandwidth_scale=0.25,
+            intra_node_latency_s=1e-5, inter_node_latency_s=4e-5,
+            flops_scale=0.8)
+        calibrated = profile.apply_to_topology(small_topology)
+        assert calibrated.intra_node_bandwidth == \
+            small_topology.intra_node_bandwidth * 0.5
+        assert calibrated.inter_node_bandwidth == \
+            small_topology.inter_node_bandwidth * 0.25
+        assert calibrated.intra_node_latency == 1e-5
+        assert calibrated.inter_node_latency == 4e-5
+        assert calibrated.device_spec.effective_flops == pytest.approx(
+            small_topology.device_spec.effective_flops * 0.8)
+        # Identity application changes nothing, not even the device spec.
+        same = CalibrationProfile.identity().apply_to_topology(small_topology)
+        assert same.device_spec is small_topology.device_spec
+
+
+# ----------------------------------------------------------------------
+# Spec threading + run-id invariance
+# ----------------------------------------------------------------------
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="calib-test",
+        cluster=ClusterSpec(num_nodes=2, devices_per_node=4),
+        workload=WorkloadSpec(tokens_per_device=512, layers=1, iterations=2,
+                              warmup=1, seed=11),
+        systems=("fsdp_ep",),
+        reference="fsdp_ep",
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSpecCalibration:
+    def test_uncalibrated_spec_emits_no_calibration_key(self):
+        assert "calibration" not in tiny_spec().to_dict()
+
+    def test_uncalibrated_run_id_is_unchanged_by_the_field(self):
+        # The field exists but, unset, must not perturb the content hash —
+        # every run id ever stored stays addressable.
+        spec = tiny_spec()
+        assert spec.calibration is None
+        assert run_id_for(spec) == run_id_for(tiny_spec())
+        assert run_id_for(spec) != run_id_for(
+            spec.with_calibration(drawn_profile()))
+
+    def test_calibrated_spec_round_trips_losslessly(self):
+        spec = tiny_spec().with_calibration(drawn_profile())
+        restored = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert restored.calibration == spec.calibration
+        assert run_id_for(restored) == run_id_for(spec)
+
+    def test_calibration_changes_simulated_throughput(self):
+        from repro.api.runner import run_experiment
+        baseline = run_experiment(tiny_spec(), parallel=False)
+        calibrated = run_experiment(
+            tiny_spec().with_calibration(drawn_profile()), parallel=False)
+        slow = calibrated.systems["fsdp_ep"].throughput
+        fast = baseline.systems["fsdp_ep"].throughput
+        # The drawn machine is strictly degraded (bw, flops < 1; added
+        # latency; byte overhead >= 1), so throughput must drop.
+        assert slow < fast
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+class TestMeasurement:
+    def test_ground_truth_draw_is_deterministic(self):
+        assert GroundTruthMachine.draw(7) == GroundTruthMachine.draw(7)
+        assert GroundTruthMachine.draw(7) != GroundTruthMachine.draw(8)
+        machine = GroundTruthMachine.draw(7)
+        assert GroundTruthMachine.from_dict(machine.to_dict()) == machine
+
+    def test_microbenchmarks_cover_all_terms(self, small_topology):
+        observations = run_microbenchmarks(
+            small_topology, GroundTruthMachine.draw(0),
+            config=MeasureConfig.tiny(), seed=0)
+        counts = observations.counts()
+        assert counts["comm"] > 0
+        assert counts["compute"] == small_topology.num_devices * 2
+        assert counts["all_to_all"] == 1
+        kinds = {small_topology.link_type(o.link_src, o.link_dst)
+                 for o in observations.comm}
+        assert kinds == {LinkType.INTRA_NODE, LinkType.INTER_NODE}
+
+    def test_observation_csv_round_trip(self, small_topology, tmp_path):
+        observations = run_microbenchmarks(
+            small_topology, GroundTruthMachine.draw(2),
+            config=MeasureConfig.tiny(), seed=2)
+        observations.save(tmp_path / "obs")
+        restored = ObservationSet.load(tmp_path / "obs")
+        assert restored.comm == observations.comm
+        assert restored.compute == observations.compute
+        assert restored.all_to_all == observations.all_to_all
+        assert restored.model == observations.model
+        assert restored.num_nodes == observations.num_nodes
+
+    def test_load_rejects_empty_directory(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError, match="no observations"):
+            ObservationSet.load(tmp_path / "empty")
+
+
+# ----------------------------------------------------------------------
+# Fitting
+# ----------------------------------------------------------------------
+class TestFit:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_noise_free_fit_recovers_the_hidden_machine(
+            self, small_topology, seed):
+        machine = GroundTruthMachine.draw(seed)
+        observations = run_microbenchmarks(small_topology, machine, seed=seed)
+        fit = fit_calibration(observations)
+        truth = machine.as_profile()
+        assert fit.r2_min >= 0.99
+        assert fit.profile.intra_node_bandwidth_scale == pytest.approx(
+            truth.intra_node_bandwidth_scale, rel=1e-9)
+        assert fit.profile.inter_node_bandwidth_scale == pytest.approx(
+            truth.inter_node_bandwidth_scale, rel=1e-9)
+        assert fit.profile.intra_node_latency_s == pytest.approx(
+            truth.intra_node_latency_s, rel=1e-9)
+        assert fit.profile.inter_node_latency_s == pytest.approx(
+            truth.inter_node_latency_s, rel=1e-9)
+        assert fit.profile.flops_scale == pytest.approx(
+            truth.flops_scale, rel=1e-9)
+        assert fit.profile.comm_bytes_scale == pytest.approx(
+            truth.comm_bytes_scale, rel=1e-9)
+        assert fit_summary_line(fit).startswith("calib fit: ok")
+
+    def test_robust_fit_survives_noise_and_outliers(self, small_topology):
+        machine = GroundTruthMachine.draw(4)
+        observations = run_microbenchmarks(
+            small_topology, machine,
+            config=MeasureConfig(noise=0.03), seed=4)
+        # One wildly corrupted measurement on top of the noise.
+        bad = observations.comm[0]
+        observations.comm[0] = CommObservation(
+            link_src=bad.link_src, link_dst=bad.link_dst,
+            num_bytes=bad.num_bytes, seconds=bad.seconds * 50.0)
+        robust = fit_calibration(observations, robust=True)
+        assert robust.profile.intra_node_bandwidth_scale == pytest.approx(
+            machine.intra_node_bandwidth_scale, rel=0.15)
+        assert robust.profile.inter_node_bandwidth_scale == pytest.approx(
+            machine.inter_node_bandwidth_scale, rel=0.15)
+
+    def test_fit_requires_observations(self):
+        with pytest.raises(ValueError):
+            fit_calibration(ObservationSet())
+
+    def test_report_renders_all_sections(self, small_topology):
+        observations = run_microbenchmarks(
+            small_topology, GroundTruthMachine.draw(1),
+            config=MeasureConfig.tiny(), seed=1)
+        fit = fit_calibration(observations)
+        text = fit_report(fit, title="unit")
+        assert "Fitted profile" in text
+        assert "Worst-fit links" in text
+        assert "Largest residuals" in text
+        assert fit.profile.profile_id in fit_summary_line(fit)
+
+
+# ----------------------------------------------------------------------
+# Calibrated topology feeds the whole cost stack
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_fitted_profile_reproduces_hidden_machine_timings(
+            self, small_topology):
+        """A fit applied to the nominal topology predicts the hidden one."""
+        machine = GroundTruthMachine.draw(9)
+        observations = run_microbenchmarks(small_topology, machine, seed=9)
+        fit = fit_calibration(observations)
+        calibrated = fit.profile.apply_to_topology(small_topology)
+        hidden = machine.true_topology(small_topology)
+        size = 64 * 1024 * 1024
+        for src, dst in ((0, 1), (0, 4), (3, 7)):
+            assert calibrated.p2p_time(src, dst, size) == pytest.approx(
+                hidden.p2p_time(src, dst, size), rel=1e-9)
+        assert calibrated.device_spec.effective_flops == pytest.approx(
+            hidden.device_spec.effective_flops, rel=1e-9)

@@ -426,7 +426,11 @@ class TestChaosPlans:
         with pytest.raises(ValueError, match="unknown chaos plan"):
             build_plan("meteor-strike")
         assert set(PLAN_NAMES) == {"worker-crash", "torn-journal",
-                                   "serve-degradation"}
+                                   "serve-degradation", "serve-latency"}
+        latency = build_plan("serve-latency")
+        assert {fault.point for fault in latency.faults} == \
+            {"serve.client-request", "serve.pre-execute"}
+        assert {fault.kind for fault in latency.faults} == {"slow", "stall"}
 
     def test_run_chaos_rejects_nonempty_store(self, tmp_path):
         store = ResultStore(tmp_path / "store")
@@ -448,9 +452,24 @@ class TestChaosPlans:
         # The no-op acceptance: faults changed nothing observable.
         assert clean.digest == injected.digest
 
-        saved = injected.save(tmp_path / "report.json")
+    def test_serve_latency_completes_under_slowness(self, tmp_path):
+        report = run_chaos("serve-latency", tmp_path / "latency",
+                           seed=5, quick=True)
+        assert report.ok, report.summary()
+        # Every concurrent submission answered despite the latency faults.
+        assert report.counters["completed"] == 3
+        assert report.counters["client_slow"] >= 1
+        assert report.counters["executor_stalls"] >= 1
+        assert {"serve.client-request", "serve.pre-execute"} <= \
+            set(report.points_exercised)
+        round_record = report.rounds[0]
+        assert round_record["breaker"]["state"] == "open"
+        assert round_record["health"]["status"] == "degraded"
+
+        saved = report.save(tmp_path / "report.json")
         payload = json.loads(saved.read_text())
-        assert payload["ok"] is True and payload["plan"] == "torn-journal"
+        assert payload["ok"] is True and payload["plan"] == "serve-latency"
+        assert payload["counters"]["completed"] == 3
 
     def test_chaos_report_summary_flags_failures(self):
         report = ChaosReport(plan="worker-crash", seed=0, injected=True,

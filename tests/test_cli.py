@@ -808,3 +808,157 @@ class TestSubmitRetryFlags:
         assert code == 2
         err = capsys.readouterr().err
         assert "unreachable" in err
+
+
+class TestCalibCommands:
+    def _measure(self, tmp_path, capsys, extra=()):
+        code = main(["calib", "measure", "--output", str(tmp_path / "obs"),
+                     "--num-nodes", "2", "--devices-per-node", "4",
+                     "--seed", "3", "--tiny", *extra])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observations in" in out
+        return tmp_path / "obs"
+
+    def test_measure_writes_csvs_and_ground_truth(self, tmp_path, capsys):
+        obs = self._measure(tmp_path, capsys)
+        for name in ("comm.csv", "compute.csv", "all_to_all.csv",
+                     "meta.json", "ground_truth.json"):
+            assert (obs / name).exists()
+
+    def test_measure_rejects_linkless_cluster(self, tmp_path, capsys):
+        code = main(["calib", "measure", "--output", str(tmp_path / "obs"),
+                     "--num-nodes", "1", "--devices-per-node", "1"])
+        assert code == 2
+
+    def test_fit_recovers_and_saves_profile(self, tmp_path, capsys):
+        obs = self._measure(tmp_path, capsys)
+        profile_path = tmp_path / "profile.json"
+        code = main(["calib", "fit", "--observations", str(obs),
+                     "--output", str(profile_path), "--min-r2", "0.99"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calib fit: ok" in out
+        assert "r2_min=1.0000" in out
+        assert profile_path.exists()
+        from repro.calib import CalibrationProfile, GroundTruthMachine
+        import json as json_mod
+        fitted = CalibrationProfile.load(profile_path)
+        truth = GroundTruthMachine.from_dict(json_mod.loads(
+            (obs / "ground_truth.json").read_text())).as_profile()
+        assert fitted.flops_scale == pytest.approx(truth.flops_scale,
+                                                   rel=1e-9)
+
+    def test_fit_gate_trips_on_impossible_floor(self, tmp_path, capsys):
+        obs = self._measure(tmp_path, capsys, extra=("--noise", "0.3"))
+        code = main(["calib", "fit", "--observations", str(obs),
+                     "--min-r2", "0.9999999"])
+        assert code == 1
+        assert "FIT GATE FAILED" in capsys.readouterr().err
+
+    def test_fit_missing_observations_is_usage_error(self, tmp_path, capsys):
+        code = main(["calib", "fit", "--observations",
+                     str(tmp_path / "nowhere")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report(self, tmp_path, capsys):
+        obs = self._measure(tmp_path, capsys)
+        report_path = tmp_path / "report.md"
+        code = main(["calib", "report", "--observations", str(obs),
+                     "--output", str(report_path)])
+        assert code == 0
+        text = report_path.read_text()
+        assert "Fitted profile" in text
+        assert "Worst-fit links" in text
+
+    def test_apply_embeds_profile_in_spec(self, tmp_path, capsys):
+        obs = self._measure(tmp_path, capsys)
+        profile_path = tmp_path / "profile.json"
+        assert main(["calib", "fit", "--observations", str(obs),
+                     "--output", str(profile_path)]) == 0
+        spec_path = tmp_path / "exp.json"
+        assert main(["run", "--scenario", "steady", "--iterations", "2",
+                     "--num-nodes", "1", "--devices-per-node", "4",
+                     "--tokens-per-device", "512",
+                     "--dump-spec", str(spec_path)]) == 0
+        out_path = tmp_path / "exp_cal.json"
+        code = main(["calib", "apply", "--profile", str(profile_path),
+                     "--spec", str(spec_path), "--output", str(out_path)])
+        assert code == 0
+        spec = ExperimentSpec.load(out_path)
+        assert spec.calibration is not None
+        from repro.calib import CalibrationProfile
+        assert spec.calibration == CalibrationProfile.load(profile_path)
+
+
+class TestScenarioRobustnessSection:
+    def _store_with_scenarios(self, tmp_path):
+        from repro.api.specs import ClusterSpec, WorkloadSpec
+        from repro.api.runner import SystemResult
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        # laer wins everywhere; static_ep collapses only under 'bursty':
+        # expect zero spread for laer and a wide one for static_ep.
+        throughputs = {"steady": {"laer": 200.0, "static_ep": 180.0},
+                       "straggler": {"laer": 200.0, "static_ep": 100.0}}
+        for scenario, by_system in throughputs.items():
+            spec = ExperimentSpec(
+                name=f"robust-{scenario}",
+                cluster=ClusterSpec(num_nodes=1, devices_per_node=4),
+                workload=WorkloadSpec(tokens_per_device=512, layers=1,
+                                      iterations=2, scenario=scenario),
+                systems=tuple(by_system),
+                reference="laer")
+            systems = {
+                key: SystemResult(
+                    key=key, system=key, throughput=value,
+                    mean_iteration_s=0.5, tokens_per_iteration=2048,
+                    speedup_vs_reference=value / by_system["laer"],
+                    breakdown_s={"expert_compute": 0.25})
+                for key, value in by_system.items()}
+            store.put(ExperimentResult(
+                spec=spec, reference="laer", requested_reference="laer",
+                systems=systems, execution_mode="sequential"),
+                tags=("study:robust",))
+        return store
+
+    def test_section_reports_regret_spread(self, tmp_path, capsys):
+        store = self._store_with_scenarios(tmp_path)
+        code = main(["study", "report", "--store", str(store.root),
+                     "--study", "robust"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario robustness" in out
+        laer_row = next(line for line in out.splitlines()
+                        if line.startswith("| laer"))
+        static_row = next(line for line in out.splitlines()
+                          if line.startswith("| static_ep"))
+        # laer is the per-run best in both scenarios: zero regret, zero
+        # spread.  static_ep: 11.1% regret on steady, 100% on straggler.
+        assert "0.0%" in laer_row
+        assert "11.1%" in static_row and "100.0%" in static_row
+        assert "straggler" in static_row
+
+    def test_section_needs_two_scenarios(self, tmp_path, capsys):
+        store = self._store_with_scenarios(tmp_path)
+        # Report only the steady runs: one scenario -> no spread to show.
+        steady = [e for e in store.entries() if e.scenario == "steady"]
+        assert len(steady) == 1
+        code = main(["study", "report", "--store", str(store.root),
+                     "--tag", "study:robust", "--output",
+                     str(tmp_path / "full.md")])
+        assert code == 0
+        capsys.readouterr()
+        single = tmp_path / "single-store"
+        import shutil
+        shutil.copytree(store.root, single)
+        from repro.store import ResultStore
+        trimmed = ResultStore(single)
+        for entry in trimmed.entries():
+            if entry.scenario != "steady":
+                trimmed.delete(entry.run_id)
+        code = main(["study", "report", "--store", str(single)])
+        assert code == 0
+        assert "Scenario robustness" not in capsys.readouterr().out

@@ -116,3 +116,22 @@ class TestConstruction:
         with pytest.raises(ValueError):
             MoECostModel(small_topology, comm_bytes_per_token=1,
                          compute_flops_per_token=0, device_flops=1)
+
+
+class TestEvaluateBatch:
+    def test_batch_matches_scalar_bitwise(self, small_topology,
+                                          small_cost_model):
+        rng = np.random.default_rng(17)
+        plans = rng.integers(0, 300, size=(5, 8, 8, 8)).astype(np.int64)
+        batched = small_cost_model.evaluate_batch(plans)
+        for index in range(plans.shape[0]):
+            scalar = small_cost_model.evaluate(plans[index])
+            assert batched[index].comm_time == scalar.comm_time
+            assert batched[index].comp_time == scalar.comp_time
+            assert batched[index].total == scalar.total
+
+    def test_batch_shape_validation(self, small_cost_model):
+        with pytest.raises(ValueError):
+            small_cost_model.evaluate_batch(np.zeros((8, 8, 8)))
+        with pytest.raises(ValueError):
+            small_cost_model.evaluate_batch(np.zeros((2, 8, 8, 7)))

@@ -122,3 +122,53 @@ class TestReset:
         tuner.reset()
         second = [tuner.solve(routing).candidate_costs for _ in range(3)]
         assert first == second
+
+
+class TestBatchEval:
+    @pytest.mark.parametrize("candidates", [2, 4, 8])
+    def test_batched_solve_is_bit_identical_to_scalar(
+            self, small_topology, small_cost_model, candidates):
+        routing = skewed_routing(seed=candidates)
+        batched = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(num_candidates=candidates,
+                        batch_eval=True)).solve(routing)
+        scalar = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(num_candidates=candidates,
+                        batch_eval=False)).solve(routing)
+        # Not approx: the batched path must be the same arithmetic.
+        assert batched.candidate_costs == scalar.candidate_costs
+        assert batched.cost.total == scalar.cost.total
+        assert batched.cost.comm_time == scalar.cost.comm_time
+        assert np.array_equal(batched.routing_plan, scalar.routing_plan)
+        assert np.array_equal(batched.layout.assignment,
+                              scalar.layout.assignment)
+
+    def test_tie_breaks_pick_the_first_candidate(self, small_topology,
+                                                 small_cost_model):
+        """Equal-cost candidates resolve identically on both paths."""
+        routing = np.full((8, 8), 64, dtype=np.int64)
+        batched = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(batch_eval=True)).solve(routing)
+        scalar = ExpertLayoutTuner(
+            small_topology, small_cost_model, 2,
+            TunerConfig(batch_eval=False)).solve(routing)
+        assert np.array_equal(batched.layout.assignment,
+                              scalar.layout.assignment)
+
+    def test_batch_eval_emits_planner_span(self, small_topology,
+                                           small_cost_model, tmp_path):
+        from repro.telemetry import trace as trace_mod
+        tracer = trace_mod.Tracer(tmp_path / "trace", scope="test")
+        trace_mod.install(tracer)
+        try:
+            ExpertLayoutTuner(
+                small_topology, small_cost_model, 2,
+                TunerConfig(num_candidates=4)).solve(skewed_routing(seed=1))
+        finally:
+            trace_mod.uninstall()
+        events = trace_mod.read_events(tmp_path / "trace")
+        spans = [e for e in events if e.get("name") == "planner.batch-eval"]
+        assert spans and spans[0]["attrs"]["candidates"] == 4

@@ -158,3 +158,67 @@ class TestAlternativeRouters:
         layout = ExpertLayout(np.zeros((2, 1), dtype=np.int64), capacity=1)
         with pytest.raises(ValueError):
             ep_route(np.ones((2, 1), dtype=np.int64), layout)
+
+
+class TestLiteRouteBatch:
+    def layouts(self, n=8, num_experts=8, count=4, seed=0):
+        from repro.core.relocation import relocate_experts
+        from repro.core.replica_allocation import (
+            even_replicas,
+            perturb_replicas,
+        )
+        from repro.cluster.topology import ClusterTopology
+        topology = ClusterTopology(num_nodes=2, devices_per_node=n // 2)
+        rng = np.random.default_rng(seed)
+        schemes = [even_replicas(n, num_experts, 2)]
+        while len(schemes) < count:
+            schemes.append(perturb_replicas(schemes[0], rng, 2))
+        loads = rng.integers(1, 100, size=num_experts)
+        return topology, [relocate_experts(s, loads, topology, 2)
+                          for s in schemes]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bit_identical_to_scalar_loop(self, seed):
+        from repro.core.lite_routing import lite_route_batch
+        topology, layouts = self.layouts(seed=seed)
+        rng = np.random.default_rng(seed + 100)
+        routing = rng.integers(0, 4096, size=(8, 8)).astype(np.int64)
+        batched = lite_route_batch(routing, layouts, topology)
+        for index, layout in enumerate(layouts):
+            expected = lite_route(routing, layout, topology)
+            assert np.array_equal(batched[index], expected), \
+                f"candidate {index} diverged"
+
+    def test_single_layout_matches(self):
+        from repro.core.lite_routing import lite_route_batch
+        topology, layouts = self.layouts(count=1)
+        routing = np.full((8, 8), 13, dtype=np.int64)
+        batched = lite_route_batch(routing, layouts[:1], topology)
+        assert batched.shape == (1, 8, 8, 8)
+        assert np.array_equal(batched[0],
+                              lite_route(routing, layouts[0], topology))
+
+    def test_conservation_across_the_batch(self):
+        from repro.core.lite_routing import lite_route_batch
+        topology, layouts = self.layouts(count=6, seed=5)
+        rng = np.random.default_rng(9)
+        routing = rng.integers(0, 512, size=(8, 8)).astype(np.int64)
+        batched = lite_route_batch(routing, layouts, topology)
+        for plan in batched:
+            assert np.array_equal(plan.sum(axis=2), routing)
+
+    def test_missing_replica_raises(self):
+        from repro.core.lite_routing import lite_route_batch
+        from repro.cluster.topology import ClusterTopology
+        topology = ClusterTopology(num_nodes=1, devices_per_node=2)
+        layout = ExpertLayout(np.zeros((2, 1), dtype=np.int64), capacity=1)
+        routing = np.ones((2, 1), dtype=np.int64)
+        with pytest.raises(ValueError):
+            lite_route_batch(routing, [layout], topology)
+
+    def test_empty_layout_list_raises(self):
+        from repro.core.lite_routing import lite_route_batch
+        from repro.cluster.topology import ClusterTopology
+        topology = ClusterTopology(num_nodes=1, devices_per_node=2)
+        with pytest.raises(ValueError):
+            lite_route_batch(np.ones((2, 1), dtype=np.int64), [], topology)
